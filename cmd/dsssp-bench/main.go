@@ -1,0 +1,363 @@
+// Command dsssp-bench regenerates the experiment tables E1–E9 of
+// EXPERIMENTS.md (the paper has no empirical tables; these measure the
+// quantities its theorems bound — see DESIGN.md section 4).
+//
+// Usage:
+//
+//	dsssp-bench             # all experiments at default sizes
+//	dsssp-bench -exp e1,e5  # a subset
+//	dsssp-bench -quick      # smaller sizes (used for smoke tests)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/bits"
+	"os"
+	"strings"
+
+	"dsssp"
+	"dsssp/internal/baseline"
+	"dsssp/internal/bfs"
+	"dsssp/internal/core"
+	"dsssp/internal/decomp"
+	"dsssp/internal/energybfs"
+	"dsssp/internal/forest"
+	"dsssp/internal/graph"
+	"dsssp/internal/proto"
+	"dsssp/internal/simnet"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "e1,e2,e3,e4,e5,e6,e7,e8,e9", "comma-separated experiments")
+		quick   = flag.Bool("quick", false, "smaller sizes")
+	)
+	flag.Parse()
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	run := func(name string, f func(bool)) {
+		if want[name] {
+			f(*quick)
+		}
+	}
+	run("e1", e1)
+	run("e2", e2)
+	run("e3", e3)
+	run("e4", e4)
+	run("e5", e5)
+	run("e6", e6)
+	run("e7", e7)
+	run("e8", e8)
+	run("e9", e9)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "dsssp-bench:", err)
+	os.Exit(1)
+}
+
+func lg(n int) int64 { return int64(bits.Len(uint(n))) }
+
+// E1 — Theorem 2.6/2.7: CSSP time Õ(n), congestion poly(log n), vs
+// Bellman-Ford and distributed Dijkstra.
+func e1(quick bool) {
+	fmt.Println("== E1: CONGEST CSSP (Thm 2.6/2.7) vs baselines ==")
+	fmt.Println("family    n     m     alg       rounds  rounds/n  maxEdgeMsgs  msgs/m")
+	sizes := []int{64, 128, 256, 512}
+	if quick {
+		sizes = []int{32, 64}
+	}
+	for _, n := range sizes {
+		g := graph.RandomConnected(n, 2*n, graph.UniformWeights(int64(n), 7), 7)
+		d1, _, met, err := core.RunSSSP(g, 0, core.Options{})
+		if err != nil {
+			die(err)
+		}
+		row := func(alg string, m simnet.Metrics) {
+			fmt.Printf("random  %5d %5d  %-9s %7d %8.1f %11d %7.1f\n",
+				n, g.M(), alg, m.Rounds, float64(m.Rounds)/float64(n),
+				m.MaxEdgeMessages, float64(m.Messages)/float64(g.M()))
+		}
+		row("cssp", met)
+		d2, metBF, err := baseline.BellmanFord(g, 0)
+		if err != nil {
+			die(err)
+		}
+		row("bellman", metBF)
+		check(d1, d2)
+		// Worst-case gadget for Bellman-Ford (unit path + sink with
+		// improving chords): its congestion is Θ(n) while CSSP stays
+		// polylog on the same graph.
+		gg := bfGadget(n)
+		dg, _, metG, err := core.RunSSSP(gg, 0, core.Options{})
+		if err != nil {
+			die(err)
+		}
+		dgBF, metGBF, err := baseline.BellmanFord(gg, 0)
+		if err != nil {
+			die(err)
+		}
+		check(dg, dgBF)
+		fmt.Printf("gadget  %5d %5d  %-9s %7d %8.1f %11d %7.1f\n",
+			gg.N(), gg.M(), "cssp", metG.Rounds, float64(metG.Rounds)/float64(gg.N()),
+			metG.MaxEdgeMessages, float64(metG.Messages)/float64(gg.M()))
+		fmt.Printf("gadget  %5d %5d  %-9s %7d %8.1f %11d %7.1f\n",
+			gg.N(), gg.M(), "bellman", metGBF.Rounds, float64(metGBF.Rounds)/float64(gg.N()),
+			metGBF.MaxEdgeMessages, float64(metGBF.Messages)/float64(gg.M()))
+		if !quick && n <= 128 {
+			d3, metDj, err := baseline.Dijkstra(g, 0)
+			if err != nil {
+				die(err)
+			}
+			row("dijkstra", metDj)
+			check(d1, d3)
+		}
+	}
+	fmt.Println()
+}
+
+// bfGadget is the classic Bellman-Ford worst case: a unit-weight path plus
+// a sink adjacent to every path node with weights that improve at every
+// hop of the wave, forcing Θ(n) re-broadcasts per sink edge.
+func bfGadget(k int) *graph.Graph {
+	g := graph.New(k + 2)
+	for i := 0; i < k; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	sink := graph.NodeID(k + 1)
+	for i := 0; i <= k; i++ {
+		g.AddEdge(graph.NodeID(i), sink, int64(2*(k-i)+1))
+	}
+	g.SortAdj()
+	return g
+}
+
+// E2 — Lemma 2.1: approximate cutter error <= εW, time O(n/ε),
+// congestion O(1).
+func e2(quick bool) {
+	fmt.Println("== E2: approximate cutter (Lemma 2.1) ==")
+	fmt.Println("n     eps    rounds  rounds*eps/n  maxEdgeMsgs  maxErr/epsW")
+	n := 256
+	if quick {
+		n = 64
+	}
+	g := graph.RandomConnected(n, 2*n, graph.UniformWeights(int64(n)*int64(n), 5), 5)
+	ref := graph.Dijkstra(g, 0)
+	var maxd int64 = 1
+	for _, d := range ref {
+		if d < graph.Inf && d > maxd {
+			maxd = d
+		}
+	}
+	w := maxd/2 + 1
+	for _, eps := range [][2]int64{{1, 2}, {1, 4}, {1, 8}} {
+		got, met, err := bfs.RunCutter(g, map[graph.NodeID]int64{0: 0}, w, eps[0], eps[1])
+		if err != nil {
+			die(err)
+		}
+		epsW := eps[0] * w / eps[1]
+		worst := 0.0
+		for v := range got {
+			if got[v] == graph.Inf {
+				continue
+			}
+			if e := float64(got[v]-ref[v]) / float64(epsW+1); e > worst {
+				worst = e
+			}
+		}
+		fmt.Printf("%5d %d/%d %8d %13.2f %12d %11.2f\n",
+			n, eps[0], eps[1], met.Rounds,
+			float64(met.Rounds)*float64(eps[0])/float64(eps[1])/float64(n),
+			met.MaxEdgeMessages, worst)
+	}
+	fmt.Println()
+}
+
+// E3 — Theorem 2.2: maximal spanning forest.
+func e3(quick bool) {
+	fmt.Println("== E3: Boruvka maximal spanning forest (Thm 2.2) ==")
+	fmt.Println("family    n     rounds  rounds/(n*lg n)  maxEdgeMsgs  maxEdgeMsgs/lg n")
+	sizes := []int{64, 256, 1024}
+	if quick {
+		sizes = []int{32, 128}
+	}
+	for _, fam := range []graph.Family{graph.FamilyPath, graph.FamilyRandom, graph.FamilyCluster} {
+		for _, n := range sizes {
+			g := graph.Make(fam, n, graph.UnitWeights, 3)
+			eng := simnet.New(g, simnet.Config{Model: simnet.Congest})
+			res, err := eng.Run(func(c *simnet.Ctx) {
+				mb := proto.NewMailbox(c)
+				forest.Build(mb, forest.Params{Tag: 1, StartRound: 0, SizeBound: int64(c.N())})
+			})
+			if err != nil {
+				die(err)
+			}
+			m := res.Metrics
+			fmt.Printf("%-8s %5d %9d %16.1f %12d %17.1f\n",
+				fam, g.N(), m.Rounds,
+				float64(m.Rounds)/(float64(g.N())*float64(lg(g.N()))),
+				m.MaxEdgeMessages, float64(m.MaxEdgeMessages)/float64(lg(g.N())))
+		}
+	}
+	fmt.Println()
+}
+
+// E4 — Theorems 3.10/3.11 interface: sparse cover structure.
+func e4(quick bool) {
+	fmt.Println("== E4: layered sparse covers (interface of Thms 3.10/3.11) ==")
+	fmt.Println("family    n    layers  clusters  maxNodeOverlap  maxEdgeTrees  cap(=Stretch*layers*2)")
+	sizes := []int{128, 512}
+	if quick {
+		sizes = []int{64}
+	}
+	for _, fam := range []graph.Family{graph.FamilyPath, graph.FamilyGrid, graph.FamilyRandom} {
+		for _, n := range sizes {
+			g := graph.Make(fam, n, graph.UnitWeights, 3)
+			cv, err := decomp.Build(g, nil, nil, int64(g.N()/2))
+			if err != nil {
+				die(err)
+			}
+			cap := int(decomp.Stretch(g.N())) * len(cv.Layers) * 2
+			fmt.Printf("%-8s %5d %6d %9d %15d %13d %10d\n",
+				fam, g.N(), len(cv.Layers), cv.ClusterCount,
+				cv.MaxOverlap(), cv.MaxEdgeTreeOverlap(g), cap)
+		}
+	}
+	fmt.Println()
+}
+
+// E5 — Theorems 3.8/3.13/3.14: low-energy BFS vs always-awake baseline.
+func e5(quick bool) {
+	fmt.Println("== E5: low-energy BFS (Thms 3.8/3.13/3.14) vs always-awake ==")
+	fmt.Println("family    n     D     alg      rounds  maxAwake  awake/rounds")
+	sizes := []int{128, 256, 512}
+	if quick {
+		sizes = []int{64, 128}
+	}
+	for _, fam := range []graph.Family{graph.FamilyPath, graph.FamilyGrid} {
+		for _, n := range sizes {
+			g := graph.Make(fam, n, graph.UnitWeights, 3)
+			diam := graph.HopDiameterApprox(g)
+			d1, metE, err := energybfs.RunBFS(g, map[graph.NodeID]int64{0: 0}, diam)
+			if err != nil {
+				die(err)
+			}
+			d2, metA, err := baseline.AlwaysAwakeBFS(g, map[graph.NodeID]bool{0: true}, diam)
+			if err != nil {
+				die(err)
+			}
+			check(d1, d2)
+			fmt.Printf("%-8s %5d %5d  energy  %8d %9d %12.3f\n",
+				fam, g.N(), diam, metE.Rounds, metE.MaxAwake, float64(metE.MaxAwake)/float64(metE.Rounds))
+			fmt.Printf("%-8s %5d %5d  awake   %8d %9d %12.3f\n",
+				fam, g.N(), diam, metA.Rounds, metA.MaxAwake, float64(metA.MaxAwake)/float64(metA.Rounds))
+		}
+	}
+	fmt.Println()
+}
+
+// E6 — Theorem 3.1: low-energy spanning forest.
+func e6(quick bool) {
+	fmt.Println("== E6: low-energy forest (Thm 3.1) ==")
+	fmt.Println("n      rounds   maxAwake  awake/lg^2(n)")
+	sizes := []int{64, 256, 1024}
+	if quick {
+		sizes = []int{32, 128}
+	}
+	for _, n := range sizes {
+		g := graph.RandomConnected(n, n, graph.UnitWeights, 3)
+		eng := simnet.New(g, simnet.Config{Model: simnet.Sleeping})
+		res, err := eng.Run(func(c *simnet.Ctx) {
+			mb := proto.NewMailbox(c)
+			forest.Build(mb, forest.Params{Tag: 1, StartRound: 0, SizeBound: int64(c.N())})
+		})
+		if err != nil {
+			die(err)
+		}
+		m := res.Metrics
+		fmt.Printf("%5d %9d %9d %13.2f\n", n, m.Rounds, m.MaxAwake,
+			float64(m.MaxAwake)/float64(lg(n)*lg(n)))
+	}
+	fmt.Println()
+}
+
+// E7 — Theorem 3.15 / Theorem 1.1: low-energy exact SSSP.
+func e7(quick bool) {
+	fmt.Println("== E7: low-energy exact SSSP (Thm 3.15 / Thm 1.1) ==")
+	fmt.Println("n     maxW  rounds    maxAwake  awake/rounds")
+	sizes := []int{16, 24, 32}
+	if quick {
+		sizes = []int{12, 16}
+	}
+	for _, n := range sizes {
+		g := graph.RandomConnected(n, n/2, graph.UniformWeights(4, 7), 7)
+		d, _, met, err := core.RunEnergySSSP(g, 0, core.Options{})
+		if err != nil {
+			die(err)
+		}
+		want := graph.Dijkstra(g, 0)
+		check(d, want)
+		fmt.Printf("%5d %4d %9d %9d %12.3f\n", n, 4, met.Rounds, met.MaxAwake,
+			float64(met.MaxAwake)/float64(met.Rounds))
+	}
+	fmt.Println()
+}
+
+// E8 — Section 1.1 APSP via random-delay scheduling.
+func e8(quick bool) {
+	fmt.Println("== E8: APSP composition (Section 1.1, matches BN19 shape) ==")
+	fmt.Println("n    dilation  congestion  aligned  random  sequential  random/(C+T)")
+	sizes := []int{32, 64}
+	if quick {
+		sizes = []int{16, 32}
+	}
+	for _, n := range sizes {
+		g := graph.RandomConnected(n, 2*n, graph.UniformWeights(int64(n), 11), 11)
+		res, err := dsssp.APSP(g, nil, 42)
+		if err != nil {
+			die(err)
+		}
+		c := res.Composition
+		fmt.Printf("%4d %9d %11d %8d %7d %11d %13.2f\n",
+			n, c.Dilation, c.Congestion, c.MakespanAligned, c.MakespanRandom,
+			c.MakespanSequential, float64(c.MakespanRandom)/float64(c.Congestion+c.Dilation))
+	}
+	fmt.Println()
+}
+
+// E9 — ablations: ε sweep and the Lemma 2.4 subproblem bound.
+func e9(quick bool) {
+	fmt.Println("== E9: ablations ==")
+	n := 128
+	if quick {
+		n = 64
+	}
+	g := graph.RandomConnected(n, n, graph.UniformWeights(int64(n), 13), 13)
+	fmt.Println("eps    rounds  maxEdgeMsgs  maxSubproblems  levels")
+	for _, eps := range [][2]int64{{1, 4}, {1, 2}, {3, 4}} {
+		d, st, met, err := core.RunSSSP(g, 0, core.Options{EpsNum: eps[0], EpsDen: eps[1]})
+		if err != nil {
+			die(err)
+		}
+		check(d, graph.Dijkstra(g, 0))
+		maxSub := 0
+		for _, k := range st.Subproblems {
+			if k > maxSub {
+				maxSub = k
+			}
+		}
+		fmt.Printf("%d/%d %8d %12d %15d %7d\n", eps[0], eps[1], met.Rounds, met.MaxEdgeMessages, maxSub, st.Levels)
+	}
+	fmt.Println()
+}
+
+func check(got, want []int64) {
+	for v := range want {
+		if got[v] != want[v] {
+			die(fmt.Errorf("distance mismatch at node %d: %d vs %d", v, got[v], want[v]))
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package dsssp is a reproduction of "A Near-Optimal Low-Energy
+// Deterministic Distributed SSSP with Ramifications on Congestion and APSP"
+// (Ghaffari & Trygub, PODC 2024): deterministic distributed shortest-path
+// algorithms on a simulated synchronous message-passing network, in two
+// models:
+//
+//   - ModelCongest — the classic CONGEST model; the CSSP/SSSP algorithms
+//     run in Õ(n) rounds with poly(log n) messages per edge
+//     (Theorems 2.6/2.7), which lets n instances be scheduled concurrently
+//     for APSP in Õ(n) rounds (Section 1.1).
+//   - ModelSleeping — the sleeping (energy) model; nodes sleep almost
+//     always and each spends only polylogarithmically many awake rounds
+//     (Theorems 1.1/3.8/3.15).
+//
+// Quick start:
+//
+//	g := dsssp.NewGraph(4)
+//	g.AddEdge(0, 1, 2)
+//	g.AddEdge(1, 2, 1)
+//	g.AddEdge(2, 3, 5)
+//	res, err := dsssp.SSSP(g, 0, nil)
+//	// res.Dist == [0 2 3 8], res.Metrics.MaxEdgeMessages is polylog.
+//
+// The packages under internal/ hold the building blocks: the round/energy
+// simulator (simnet), graph substrate (graph), tree coordination (proto),
+// Boruvka spanning forests (forest), the approximate cutter (bfs), sparse
+// covers (decomp), the sleeping-model BFS (energybfs), the core recursion
+// (core), classic baselines (baseline), and the APSP scheduling composition
+// (sched).
+package dsssp
+
+import (
+	"fmt"
+
+	"dsssp/internal/baseline"
+	"dsssp/internal/core"
+	"dsssp/internal/energybfs"
+	"dsssp/internal/graph"
+	"dsssp/internal/sched"
+	"dsssp/internal/simnet"
+)
+
+// Model selects the execution model.
+type Model int
+
+// Available models.
+const (
+	// ModelCongest is the synchronous CONGEST model (Section 2).
+	ModelCongest Model = iota + 1
+	// ModelSleeping is the sleeping/energy model (Section 3).
+	ModelSleeping
+)
+
+// Inf marks an unreachable node (or one beyond a threshold).
+const Inf = graph.Inf
+
+// NodeID identifies a node (0..n-1).
+type NodeID = graph.NodeID
+
+// Graph re-exports the weighted undirected graph type.
+type Graph = graph.Graph
+
+// NewGraph returns an empty graph with n nodes.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// Metrics re-exports the simulator's complexity measures: Rounds (time),
+// MaxEdgeMessages (congestion), MaxAwake (energy), Messages, and more.
+type Metrics = simnet.Metrics
+
+// Options tunes a run.
+type Options struct {
+	// Model selects CONGEST (default) or the sleeping model.
+	Model Model
+	// EpsNum/EpsDen is the cutter ε in (0,1); defaults to 1/2.
+	EpsNum, EpsDen int64
+	// MaxRounds caps the simulation (0 = a generous default).
+	MaxRounds int64
+}
+
+func (o *Options) resolved() (Model, core.Options) {
+	m := ModelCongest
+	copt := core.Options{}
+	if o != nil {
+		if o.Model != 0 {
+			m = o.Model
+		}
+		copt = core.Options{EpsNum: o.EpsNum, EpsDen: o.EpsDen, MaxRounds: o.MaxRounds}
+	}
+	return m, copt
+}
+
+// Result is the outcome of a distance computation.
+type Result struct {
+	// Dist[v] is the exact distance (Inf if unreachable).
+	Dist []int64
+	// Metrics holds time/congestion/energy measurements.
+	Metrics Metrics
+	// SubproblemsMax is the maximum number of recursion subproblems any
+	// node participated in (Lemma 2.4 bounds it by O(log D)).
+	SubproblemsMax int
+}
+
+// SSSP computes exact single-source shortest paths from source with the
+// paper's algorithm in the selected model.
+func SSSP(g *Graph, source NodeID, opts *Options) (*Result, error) {
+	return CSSP(g, map[NodeID]int64{source: 0}, opts)
+}
+
+// CSSP computes exact closest-source distances dist(S,v) = min over sources
+// s of offset(s)+dist(s,v) (Definition 2.3 with offsets).
+func CSSP(g *Graph, sources map[NodeID]int64, opts *Options) (*Result, error) {
+	m, copt := opts.resolved()
+	var (
+		d   []int64
+		st  core.Stats
+		met simnet.Metrics
+		err error
+	)
+	switch m {
+	case ModelCongest:
+		d, st, met, err = core.RunCSSP(g, sources, copt)
+	case ModelSleeping:
+		d, st, met, err = core.RunEnergyCSSP(g, sources, copt)
+	default:
+		return nil, fmt.Errorf("dsssp: unknown model %d", m)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Dist: d, Metrics: met}
+	for _, k := range st.Subproblems {
+		if k > res.SubproblemsMax {
+			res.SubproblemsMax = k
+		}
+	}
+	return res, nil
+}
+
+// BFS computes hop distances from the sources up to the threshold. In
+// ModelSleeping it uses the cover-driven low-energy BFS (Theorem 3.13/3.14);
+// in ModelCongest the plain distributed BFS.
+func BFS(g *Graph, sources map[NodeID]bool, threshold int64, opts *Options) (*Result, error) {
+	m, _ := opts.resolved()
+	switch m {
+	case ModelSleeping:
+		src := make(map[NodeID]int64, len(sources))
+		for s := range sources {
+			src[s] = 0
+		}
+		d, met, err := energybfs.RunBFS(g, src, threshold)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Dist: d, Metrics: met}, nil
+	case ModelCongest:
+		src := make(map[NodeID]bool, len(sources))
+		for s := range sources {
+			src[s] = true
+		}
+		d, met, err := baseline.AlwaysAwakeBFS(g, src, threshold)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Dist: d, Metrics: met}, nil
+	default:
+		return nil, fmt.Errorf("dsssp: unknown model %d", m)
+	}
+}
+
+// APSPResult reports the scheduling composition of n SSSP instances
+// (Section 1.1's APSP implication).
+type APSPResult struct {
+	// Dist[s][v] is the exact distance from s to v.
+	Dist [][]int64
+	// Composition holds dilation, congestion, and makespans (aligned,
+	// random-delay, sequential).
+	Composition sched.Composition
+}
+
+// APSP computes all-pairs shortest paths by running one CSSP instance per
+// source, recording each instance's edge usage, and composing the traces
+// under random-delay scheduling (seeded). The per-instance polylog
+// congestion is what makes the random-delay makespan Õ(n).
+func APSP(g *Graph, opts *Options, seed int64) (*APSPResult, error) {
+	_, copt := opts.resolved()
+	out := &APSPResult{Dist: make([][]int64, g.N())}
+	runner := func(g *Graph, s NodeID) (sched.Trace, error) {
+		d, _, met, tr, err := core.RunCSSPTraced(g, map[NodeID]int64{s: 0}, copt)
+		if err != nil {
+			return sched.Trace{}, err
+		}
+		out.Dist[s] = d
+		return sched.Trace{Entries: tr, Rounds: met.Rounds}, nil
+	}
+	comp, err := sched.APSP(g, nil, runner, seed)
+	if err != nil {
+		return nil, err
+	}
+	out.Composition = comp
+	return out, nil
+}

@@ -1,0 +1,36 @@
+// Quickstart: exact SSSP on a small weighted graph with the paper's
+// low-congestion algorithm, printing distances and the complexity metrics
+// the theorems bound.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dsssp"
+)
+
+func main() {
+	// A weighted ring with a chord.
+	g := dsssp.NewGraph(6)
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 7)
+	g.AddEdge(3, 4, 2)
+	g.AddEdge(4, 5, 3)
+	g.AddEdge(5, 0, 5)
+	g.AddEdge(1, 4, 2) // chord
+	g.SortAdj()
+
+	res, err := dsssp.SSSP(g, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("exact distances from node 0:")
+	for v, d := range res.Dist {
+		fmt.Printf("  node %d: %d\n", v, d)
+	}
+	fmt.Printf("rounds: %d, messages: %d, max messages on any edge: %d\n",
+		res.Metrics.Rounds, res.Metrics.Messages, res.Metrics.MaxEdgeMessages)
+	fmt.Printf("max recursion subproblems per node (Lemma 2.4): %d\n", res.SubproblemsMax)
+}

@@ -1,0 +1,53 @@
+// Sensornet: the paper's motivating scenario for the sleeping model — a
+// battery-powered sensor corridor computing hop distances from its gateway.
+// Compares the cover-driven low-energy BFS (Theorem 3.13) against the
+// always-awake baseline across growing deployments. Both compute identical
+// distances; the measure of interest is the awake fraction: the baseline is
+// awake 100% of its runtime by definition, while the low-energy algorithm's
+// awake share of its (longer) schedule keeps falling as the network grows —
+// the paper's asymptotic separation (polylog energy vs Θ(D)) emerging
+// through the large polylog constants (the paper's own bounds carry
+// log^18-type factors).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dsssp"
+	"dsssp/internal/graph"
+)
+
+func main() {
+	fmt.Println("sensor corridor: BFS from the gateway (node 0)")
+	fmt.Printf("%6s %6s | %10s %10s %8s | %10s %10s %8s\n",
+		"", "", "low-energy", "", "", "always-awake", "", "")
+	fmt.Printf("%6s %6s | %10s %10s %8s | %10s %10s %8s\n",
+		"n", "D", "rounds", "maxAwake", "awake%", "rounds", "maxAwake", "awake%")
+	for _, n := range []int{128, 256, 512} {
+		g := graph.Path(n, graph.UnitWeights)
+		d := int64(n - 1)
+		low, err := dsssp.BFS(g, map[dsssp.NodeID]bool{0: true}, d,
+			&dsssp.Options{Model: dsssp.ModelSleeping})
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := dsssp.BFS(g, map[dsssp.NodeID]bool{0: true}, d,
+			&dsssp.Options{Model: dsssp.ModelCongest})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for v := range low.Dist {
+			if low.Dist[v] != base.Dist[v] {
+				log.Fatalf("distance mismatch at node %d", v)
+			}
+		}
+		pct := func(m dsssp.Metrics) float64 { return 100 * float64(m.MaxAwake) / float64(m.Rounds) }
+		fmt.Printf("%6d %6d | %10d %10d %7.1f%% | %10d %10d %7.1f%%\n",
+			n, d, low.Metrics.Rounds, low.Metrics.MaxAwake, pct(low.Metrics),
+			base.Metrics.Rounds, base.Metrics.MaxAwake, pct(base.Metrics))
+	}
+	fmt.Println("\nDistances agree on every run. The low-energy node sleeps through")
+	fmt.Println("an ever-larger share of the schedule as the corridor grows, while")
+	fmt.Println("the baseline is awake for its entire Θ(D) runtime.")
+}

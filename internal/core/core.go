@@ -1,0 +1,334 @@
+// Package core implements the paper's primary contribution: the recursive
+// D-thresholded closest-source shortest path (CSSP) algorithm of
+// Section 2.3, giving exact SSSP/CSSP in Õ(n) rounds with poly(log n)
+// congestion per edge (Theorems 2.6 and 2.7) in the CONGEST model.
+//
+// The recursion on a subproblem (participants P, source offsets o, bound D):
+//
+//  1. D == 1: one exchange round resolves distances in {0, 1} (all weights
+//     are >= 1; zero weights are removed up front by the Theorem 2.7
+//     scaling described at RunCSSP).
+//  2. Build a rooted spanning forest of the participant subgraph
+//     (package forest) — the per-component coordination structure.
+//  3. Run the approximate cutter (Lemma 2.1, package bfs) with W = D and
+//     the configured ε; V1 = {v : dist'(v) <= D+εD} over-approximates
+//     {v : dist(v) <= D}.
+//  4. Recurse on (V1, o, D/2). Each connected component proceeds at its
+//     own speed; a convergecast barrier over the component tree
+//     re-synchronizes, with the root picking a start round Θ(|C|) ahead
+//     (the paper's step 4).
+//  5. V2 = nodes that learned dist <= D/2. Boundary nodes outside V2
+//     compute offsets simulating the imaginary cut nodes x_{vu}
+//     (offset = dist(v) + w(vu) − D/2), merged with any original source
+//     offset above D/2, and the second recursion runs on (V1∖V2, X, D/2).
+//  6. Results combine: dist = dist1 if in V2, D/2 + dist2 if the second
+//     call succeeded, else ∞ for this threshold.
+//
+// Every subproblem owns a tag block derived from its recursion path, so
+// messages from drifted sibling components are buffered, never confused.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dsssp/internal/bfs"
+	"dsssp/internal/forest"
+	"dsssp/internal/graph"
+	"dsssp/internal/proto"
+	"dsssp/internal/simnet"
+)
+
+// Options configures the CSSP run.
+type Options struct {
+	// EpsNum/EpsDen is the cutter ε in (0,1); 0/0 defaults to 1/2.
+	EpsNum, EpsDen int64
+	// MaxRounds overrides the engine's safety cap (0 = engine default).
+	MaxRounds int64
+}
+
+func (o Options) eps() (int64, int64) {
+	if o.EpsNum == 0 && o.EpsDen == 0 {
+		return 1, 2
+	}
+	return o.EpsNum, o.EpsDen
+}
+
+// Stats reports per-node structural measurements of one run.
+type Stats struct {
+	// Subproblems[v] counts the recursion calls node v participated in
+	// (Lemma 2.4 bounds it by O(log D)).
+	Subproblems []int
+	// Levels is the recursion depth log2(D0).
+	Levels int
+}
+
+// Output is a node's result.
+type output struct {
+	Dist        int64
+	Subproblems int
+}
+
+// Tag block layout: each recursion call owns a 32-tag block indexed by its
+// path in the binary recursion tree.
+const (
+	tagBlock    = 64
+	offExch     = 0
+	offBase     = 1
+	offForest   = 2 // ..14 used by package forest
+	offCutter   = 16
+	offBarrier1 = 17 // +18
+	offV2Exch   = 19
+	offBarrier2 = 20 // +21
+)
+
+type cssp struct {
+	mb             *proto.Mailbox
+	epsNum, epsDen int64
+	subproblems    int
+	// provider supplies per-call covers in the energy variant (energy.go).
+	provider *coverProvider
+}
+
+// startThreshold returns the initial power-of-two threshold D0 covering
+// every finite distance, and the recursion depth.
+func startThreshold(g *graph.Graph, maxOff int64) (int64, int) {
+	bound := int64(g.N())*g.MaxWeight() + maxOff + 1
+	levels := bits.Len64(uint64(bound))
+	return int64(1) << levels, levels
+}
+
+type callParams struct {
+	path      uint64 // 1-based heap index of this call in the recursion tree
+	d         int64  // threshold (power of two)
+	offset    int64  // source offset or bfs.NotSource
+	sizeBound int64  // upper bound on this call's component sizes
+	eligible  []bool // edges to co-participants of the parent call (nil=all)
+}
+
+func (s *cssp) tag(path uint64, off int) uint64 { return path*tagBlock + uint64(off) }
+
+// rec executes one thresholded CSSP subproblem; only participants call it.
+// All participants within one parent component enter at a common round.
+// Returns dist(S,·) if <= d, else graph.Inf.
+func (s *cssp) rec(p callParams) int64 {
+	mb := s.mb
+	c := mb.C
+	s.subproblems++
+	entry := mb.Round()
+
+	// (1) Participation exchange: learn which neighbors are in this call.
+	for i := 0; i < c.Degree(); i++ {
+		if p.eligible == nil || p.eligible[i] {
+			mb.Send(i, s.tag(p.path, offExch), struct{}{})
+		}
+	}
+	mb.SleepUntil(entry + 1)
+	elig := make([]bool, c.Degree())
+	for _, m := range mb.Take(s.tag(p.path, offExch)) {
+		if p.eligible == nil || p.eligible[m.NbIndex] {
+			elig[m.NbIndex] = true
+		}
+	}
+	eligFn := func(i int) bool { return elig[i] }
+
+	// (2) Base case: distances in {0,1}.
+	if p.d == 1 {
+		d := graph.Inf
+		if p.offset >= 0 && p.offset <= 1 {
+			d = p.offset
+		}
+		if p.offset == 0 {
+			for i := 0; i < c.Degree(); i++ {
+				if elig[i] && c.Weight(i) == 1 {
+					mb.Send(i, s.tag(p.path, offBase), struct{}{})
+				}
+			}
+		}
+		mb.SleepUntil(entry + 2)
+		if len(mb.Take(s.tag(p.path, offBase))) > 0 && d > 1 {
+			d = 1
+		}
+		return d
+	}
+
+	// (3) Spanning forest of the participant subgraph.
+	fr := forest.Build(mb, forest.Params{
+		Tag:        s.tag(p.path, offForest),
+		StartRound: entry + 1,
+		SizeBound:  p.sizeBound,
+		Eligible:   eligFn,
+	})
+
+	// (4) Approximate cutter (Lemma 2.1) with W = D.
+	approx := bfs.CutterFragment(mb, bfs.CutterParams{
+		Tag:          s.tag(p.path, offCutter),
+		StartRound:   entry + 1 + forest.Duration(p.sizeBound),
+		W:            p.d,
+		NHat:         fr.Size,
+		EpsNum:       s.epsNum,
+		EpsDen:       s.epsDen,
+		SourceOffset: p.offset,
+		Eligible:     eligFn,
+	})
+	// V1 membership: dist'(v) <= D + εD (inclusive: the cutter's additive
+	// error bound is <= εW, so inclusion keeps every dist <= D node).
+	inV1 := approx != graph.Inf && approx*s.epsDen <= p.d*(s.epsDen+s.epsNum)
+	d1h := p.d / 2
+
+	// (5) First recursion: (V1, S, D/2).
+	d1 := graph.Inf
+	if inV1 {
+		d1 = s.rec(callParams{
+			path: 2 * p.path, d: d1h, offset: p.offset,
+			sizeBound: fr.Size, eligible: elig,
+		})
+	}
+	proto.Barrier(mb, fr.Tree, s.tag(p.path, offBarrier1), fr.Size, -1)
+
+	// (6) Cut offsets: V2 nodes announce their exact distances; boundary
+	// nodes simulate the imaginary sources X.
+	inV2 := d1 != graph.Inf
+	b := mb.Round()
+	if inV2 {
+		for i := 0; i < c.Degree(); i++ {
+			if elig[i] {
+				mb.Send(i, s.tag(p.path, offV2Exch), d1)
+			}
+		}
+	}
+	mb.SleepUntil(b + 1)
+	offset2 := bfs.NotSource
+	v2Msgs := mb.Take(s.tag(p.path, offV2Exch))
+	if inV1 && !inV2 {
+		for _, m := range v2Msgs {
+			cand := m.Body.(int64) + c.Weight(m.NbIndex) - d1h
+			if cand < 0 {
+				panic(fmt.Sprintf("core: node %d: negative cut offset %d", c.ID(), cand))
+			}
+			if offset2 == bfs.NotSource || cand < offset2 {
+				offset2 = cand
+			}
+		}
+		// An original source whose offset exceeds D/2 seeds paths that
+		// never enter V2; carry it into the second call.
+		if p.offset > d1h {
+			if cand := p.offset - d1h; offset2 == bfs.NotSource || cand < offset2 {
+				offset2 = cand
+			}
+		}
+	}
+
+	// (7) Second recursion: (V1∖V2, X, D/2).
+	d2 := graph.Inf
+	if inV1 && !inV2 {
+		childElig := make([]bool, c.Degree())
+		copy(childElig, elig)
+		d2 = s.rec(callParams{
+			path: 2*p.path + 1, d: d1h, offset: offset2,
+			sizeBound: fr.Size, eligible: childElig,
+		})
+	}
+	proto.Barrier(mb, fr.Tree, s.tag(p.path, offBarrier2), fr.Size, -1)
+
+	// (8) Combine.
+	switch {
+	case inV2:
+		return d1
+	case inV1 && d2 != graph.Inf:
+		return d1h + d2
+	default:
+		return graph.Inf
+	}
+}
+
+// RunCSSPTraced is RunCSSP with per-message trace recording, used by the
+// APSP scheduling composition.
+func RunCSSPTraced(g *graph.Graph, sources map[graph.NodeID]int64, opts Options) ([]int64, Stats, simnet.Metrics, []simnet.TraceEntry, error) {
+	d, st, met, tr, err := runCSSP(g, sources, opts, true)
+	return d, st, met, tr, err
+}
+
+// RunCSSP computes exact closest-source distances dist(S, v) =
+// min_{s in S}(offset(s) + dist(s, v)) for every node, in the CONGEST
+// model, per Theorems 2.6 and 2.7 (non-negative integer weights; zero
+// weights are handled by scaling every weight by n+1, mapping zeros to 1,
+// and dividing the result — the scaling preserves exact distances because
+// a shortest path gains less than n+1 from the zero-weight perturbation).
+func RunCSSP(g *graph.Graph, sources map[graph.NodeID]int64, opts Options) ([]int64, Stats, simnet.Metrics, error) {
+	d, st, met, _, err := runCSSP(g, sources, opts, false)
+	return d, st, met, err
+}
+
+func runCSSP(g *graph.Graph, sources map[graph.NodeID]int64, opts Options, trace bool) ([]int64, Stats, simnet.Metrics, []simnet.TraceEntry, error) {
+	epsNum, epsDen := opts.eps()
+	if epsNum <= 0 || epsDen <= 0 || epsNum >= epsDen {
+		return nil, Stats{}, simnet.Metrics{}, nil, fmt.Errorf("core: ε must be in (0,1), got %d/%d", epsNum, epsDen)
+	}
+	for s, o := range sources {
+		if o < 0 {
+			return nil, Stats{}, simnet.Metrics{}, nil, fmt.Errorf("core: negative offset %d at source %d", o, s)
+		}
+	}
+
+	scale := int64(1)
+	run := g
+	hasZero := false
+	for _, e := range g.Edges() {
+		if e.W == 0 {
+			hasZero = true
+			break
+		}
+	}
+	if hasZero {
+		scale = int64(g.N()) + 1
+		run = g.Reweight(func(_ graph.EdgeID, w int64) int64 {
+			if w == 0 {
+				return 1
+			}
+			return w * scale
+		})
+	}
+
+	// D0 = smallest power of two covering every possible finite distance.
+	var maxOff int64
+	for _, o := range sources {
+		if o*scale > maxOff {
+			maxOff = o * scale
+		}
+	}
+	d0, levels := startThreshold(run, maxOff)
+
+	eng := simnet.New(run, simnet.Config{Model: simnet.Congest, MaxRounds: opts.MaxRounds, RecordTrace: trace})
+	res, err := eng.Run(func(c *simnet.Ctx) {
+		mb := proto.NewMailbox(c)
+		st := &cssp{mb: mb, epsNum: epsNum, epsDen: epsDen}
+		off := bfs.NotSource
+		if o, ok := sources[c.ID()]; ok {
+			off = o * scale
+		}
+		d := st.rec(callParams{path: 1, d: d0, offset: off, sizeBound: int64(c.N())})
+		c.SetOutput(output{Dist: d, Subproblems: st.subproblems})
+	})
+	if err != nil {
+		return nil, Stats{}, simnet.Metrics{}, nil, err
+	}
+	dists := make([]int64, g.N())
+	stats := Stats{Subproblems: make([]int, g.N()), Levels: levels}
+	for v, o := range res.Outputs {
+		out := o.(output)
+		if out.Dist == graph.Inf {
+			dists[v] = graph.Inf
+		} else {
+			dists[v] = out.Dist / scale
+		}
+		stats.Subproblems[v] = out.Subproblems
+	}
+	return dists, stats, res.Metrics, res.Trace, nil
+}
+
+// RunSSSP computes exact single-source distances (Theorem 2.6/2.7
+// specialized to one source).
+func RunSSSP(g *graph.Graph, source graph.NodeID, opts Options) ([]int64, Stats, simnet.Metrics, error) {
+	return RunCSSP(g, map[graph.NodeID]int64{source: 0}, opts)
+}

@@ -1,0 +1,383 @@
+// Energy (sleeping-model) variant of the CSSP recursion — Theorem 3.15 and
+// the headline Theorem 1.1: exact SSSP with Õ(n) time and polylogarithmic
+// energy per node. The recursion skeleton is identical to the CONGEST
+// variant (core.go); the model-sensitive pieces are swapped:
+//
+//   - the approximate cutter runs as a thresholded sleeping-model BFS over
+//     the rounded-weight metric (package energybfs), on a layered sparse
+//     cover built for this subproblem's participant component (the paper
+//     rebuilds covers inside each recursion call via Theorem 3.14; here
+//     the covers come from the decomp builder as an installed oracle —
+//     the documented substitution in DESIGN.md — while every message of
+//     the cover *usage* stays in-model);
+//   - the component barriers use count-based periodic tree sweeps
+//     (Section 3.1.1) so waiting costs O(1) awake rounds per window;
+//   - the spanning forest (package forest) is already model-agnostic
+//     (Theorem 3.1).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"dsssp/internal/bfs"
+	"dsssp/internal/decomp"
+	"dsssp/internal/energybfs"
+	"dsssp/internal/forest"
+	"dsssp/internal/graph"
+	"dsssp/internal/proto"
+	"dsssp/internal/simnet"
+)
+
+// coverProvider hands each recursion call the layered sparse cover for its
+// component, built lazily over the registered participant set. It stands in
+// for the in-model construction of Theorem 3.12/3.14 (see DESIGN.md).
+type coverProvider struct {
+	g *graph.Graph
+
+	mu         sync.Mutex
+	registered map[uint64]map[graph.NodeID]bool
+	covers     map[coverKey]*decomp.Cover
+}
+
+type coverKey struct {
+	path uint64
+	comp graph.NodeID
+}
+
+func newCoverProvider(g *graph.Graph) *coverProvider {
+	return &coverProvider{
+		g:          g,
+		registered: make(map[uint64]map[graph.NodeID]bool),
+		covers:     make(map[coverKey]*decomp.Cover),
+	}
+}
+
+// register declares that v participates in the call at the given path.
+func (cp *coverProvider) register(path uint64, v graph.NodeID) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.registered[path] == nil {
+		cp.registered[path] = make(map[graph.NodeID]bool)
+	}
+	cp.registered[path][v] = true
+}
+
+// get returns the cover of the component (identified by its forest leader)
+// containing member, under the given metric, covering maxDist. All members
+// of one component receive the identical cover.
+func (cp *coverProvider) get(path uint64, comp, member graph.NodeID, weight decomp.WeightFn, maxDist int64) *decomp.Cover {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	key := coverKey{path, comp}
+	if cv, ok := cp.covers[key]; ok {
+		return cv
+	}
+	reg := cp.registered[path]
+	// Component of member within the registered participant subgraph.
+	participants := make([]bool, cp.g.N())
+	stack := []graph.NodeID{member}
+	participants[member] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, h := range cp.g.Adj(u) {
+			if reg[h.To] && !participants[h.To] {
+				participants[h.To] = true
+				stack = append(stack, h.To)
+			}
+		}
+	}
+	cv, err := decomp.Build(cp.g, participants, weight, maxDist)
+	if err != nil {
+		panic(fmt.Sprintf("core: cover build failed for path %d: %v", path, err))
+	}
+	cp.covers[key] = cv
+	return cv
+}
+
+// cutterTag gives each call's energy cutter a disjoint high tag range
+// (cluster sweep tags fan out below it).
+func cutterTag(path uint64) uint64 { return (1 << 62) + path*(1<<21) }
+
+// energyBarrier is the sleeping-model component barrier: windows of
+// count-based tree sweeps anchored at a common round; the root announces a
+// common start once the whole component (size known) has checked in.
+// Returns that start round, with the node advanced to it.
+func energyBarrier(mb *proto.Mailbox, t proto.Tree, tag uint64, size, anchor int64) int64 {
+	if !t.InTree {
+		return 0
+	}
+	// Window period: long enough that waiting for a sibling's recursion
+	// costs few wakeups (the dominant per-call cost is the forest budget),
+	// yet one sweep cycle (2*size+6 rounds) always fits.
+	p := 2*size + 6
+	if alt := forest.Duration(size) / 4; alt > p {
+		p = alt
+	}
+	// Messages are stamped with the window index: a node inside its child
+	// recursion can coincidentally be awake when a barrier message passes
+	// by, buffering it; un-stamped stale messages would corrupt later
+	// windows (counts double, broadcasts report old "keep waiting"s).
+	type stamped struct {
+		K int64
+		V int64
+	}
+	for k := (mb.Round() - anchor) / p; ; k++ {
+		w := anchor + k*p
+		if w <= mb.Round() {
+			continue
+		}
+		// Count sweep up (tolerant: absent subtrees contribute 0).
+		sendRound := w + size - t.Depth
+		count := int64(1)
+		if len(t.Children) > 0 {
+			mb.AdvanceTo(sendRound - 1)
+			mb.SleepUntil(sendRound)
+		} else {
+			mb.AdvanceTo(sendRound)
+		}
+		for _, m := range mb.Take(tag) {
+			if sm := m.Body.(stamped); sm.K == k {
+				count += sm.V
+			}
+		}
+		if t.Parent >= 0 {
+			mb.Send(t.Parent, tag, stamped{k, count})
+		}
+		// Tolerant broadcast sweep down.
+		start := int64(-1)
+		dw := w + size + 2
+		if t.Parent < 0 {
+			if count == size {
+				start = w + 2*p
+			}
+			mb.AdvanceTo(dw)
+		} else {
+			recv := dw + t.Depth - 1
+			mb.AdvanceTo(recv)
+			mb.SleepUntil(recv + 1)
+			for _, m := range mb.Take(tag + 1) {
+				if sm := m.Body.(stamped); sm.K == k {
+					start = sm.V
+				}
+			}
+		}
+		for _, ch := range t.Children {
+			mb.Send(ch, tag+1, stamped{k, start})
+		}
+		if start >= 0 {
+			mb.AdvanceTo(start)
+			return start
+		}
+	}
+}
+
+// recEnergy is the sleeping-model recursion; structure mirrors cssp.rec.
+func (s *cssp) recEnergy(p callParams) int64 {
+	mb := s.mb
+	c := mb.C
+	s.subproblems++
+	entry := mb.Round()
+
+	// (1) Participation exchange (all participants of one parent component
+	// are awake at the common entry round).
+	s.provider.register(p.path, c.ID())
+	for i := 0; i < c.Degree(); i++ {
+		if p.eligible == nil || p.eligible[i] {
+			mb.Send(i, s.tag(p.path, offExch), struct{}{})
+		}
+	}
+	mb.SleepUntil(entry + 1)
+	elig := make([]bool, c.Degree())
+	for _, m := range mb.Take(s.tag(p.path, offExch)) {
+		if p.eligible == nil || p.eligible[m.NbIndex] {
+			elig[m.NbIndex] = true
+		}
+	}
+	eligFn := func(i int) bool { return elig[i] }
+
+	// (2) Base case.
+	if p.d == 1 {
+		d := graph.Inf
+		if p.offset >= 0 && p.offset <= 1 {
+			d = p.offset
+		}
+		if p.offset == 0 {
+			for i := 0; i < c.Degree(); i++ {
+				if elig[i] && c.Weight(i) == 1 {
+					mb.Send(i, s.tag(p.path, offBase), struct{}{})
+				}
+			}
+		}
+		mb.SleepUntil(entry + 2)
+		if len(mb.Take(s.tag(p.path, offBase))) > 0 && d > 1 {
+			d = 1
+		}
+		return d
+	}
+
+	// (3) Spanning forest (Theorem 3.1: already low-energy).
+	fr := forest.Build(mb, forest.Params{
+		Tag:        s.tag(p.path, offForest),
+		StartRound: entry + 1,
+		SizeBound:  p.sizeBound,
+		Eligible:   eligFn,
+	})
+
+	// (4) Approximate cutter via thresholded energy BFS over rounded
+	// weights (Lemma 2.1 + Theorem 3.14).
+	rho := bfs.Rho(p.d, fr.Size, s.epsNum, s.epsDen)
+	threshold := 2*p.d/rho + fr.Size + 1
+	weightR := func(i int) int64 { return bfs.RoundWeight(c.Weight(i), rho) }
+	cover := s.provider.get(p.path, fr.CompID, c.ID(),
+		func(u graph.NodeID, i int) int64 { return bfs.RoundWeight(s.provider.g.Adj(u)[i].W, rho) },
+		threshold)
+	offR := energybfs.NotSource
+	if p.offset == 0 {
+		offR = 0
+	} else if p.offset > 0 {
+		offR = bfs.RoundWeight(p.offset, rho)
+	}
+	dr := energybfs.Run(mb, energybfs.Params{
+		Tag:          cutterTag(p.path),
+		StartRound:   entry + 1 + forest.Duration(p.sizeBound),
+		Cover:        cover,
+		Threshold:    threshold,
+		SourceOffset: offR,
+		Eligible:     eligFn,
+		WeightOf:     weightR,
+	})
+	approx := graph.Inf
+	if dr != graph.Inf {
+		approx = dr * rho
+	}
+	inV1 := approx != graph.Inf && approx*s.epsDen <= p.d*(s.epsDen+s.epsNum)
+	d1h := p.d / 2
+
+	// (5) First recursion.
+	d1 := graph.Inf
+	if inV1 {
+		d1 = s.recEnergy(callParams{
+			path: 2 * p.path, d: d1h, offset: p.offset,
+			sizeBound: fr.Size, eligible: elig,
+		})
+	}
+	energyBarrier(mb, fr.Tree, s.tag(p.path, offBarrier1), fr.Size, entry)
+
+	// (6) Cut offsets.
+	inV2 := d1 != graph.Inf
+	b := mb.Round()
+	if inV2 {
+		for i := 0; i < c.Degree(); i++ {
+			if elig[i] {
+				mb.Send(i, s.tag(p.path, offV2Exch), d1)
+			}
+		}
+	}
+	mb.SleepUntil(b + 1)
+	offset2 := bfs.NotSource
+	v2Msgs := mb.Take(s.tag(p.path, offV2Exch))
+	if inV1 && !inV2 {
+		for _, m := range v2Msgs {
+			cand := m.Body.(int64) + c.Weight(m.NbIndex) - d1h
+			if offset2 == bfs.NotSource || cand < offset2 {
+				offset2 = cand
+			}
+		}
+		if p.offset > d1h {
+			if cand := p.offset - d1h; offset2 == bfs.NotSource || cand < offset2 {
+				offset2 = cand
+			}
+		}
+	}
+
+	// (7) Second recursion.
+	d2 := graph.Inf
+	if inV1 && !inV2 {
+		d2 = s.recEnergy(callParams{
+			path: 2*p.path + 1, d: d1h, offset: offset2,
+			sizeBound: fr.Size, eligible: elig,
+		})
+	}
+	energyBarrier(mb, fr.Tree, s.tag(p.path, offBarrier2), fr.Size, entry)
+
+	// (8) Combine.
+	switch {
+	case inV2:
+		return d1
+	case inV1 && d2 != graph.Inf:
+		return d1h + d2
+	default:
+		return graph.Inf
+	}
+}
+
+// RunEnergyCSSP computes exact closest-source distances in the sleeping
+// model (Theorem 3.15): Õ(n) rounds and polylogarithmic awake rounds per
+// node (energy). Zero weights are handled by the same scaling as RunCSSP.
+func RunEnergyCSSP(g *graph.Graph, sources map[graph.NodeID]int64, opts Options) ([]int64, Stats, simnet.Metrics, error) {
+	epsNum, epsDen := opts.eps()
+	if epsNum <= 0 || epsDen <= 0 || epsNum >= epsDen {
+		return nil, Stats{}, simnet.Metrics{}, fmt.Errorf("core: ε must be in (0,1), got %d/%d", epsNum, epsDen)
+	}
+	for s, o := range sources {
+		if o < 0 {
+			return nil, Stats{}, simnet.Metrics{}, fmt.Errorf("core: negative offset %d at source %d", o, s)
+		}
+	}
+	scale := int64(1)
+	run := g
+	for _, e := range g.Edges() {
+		if e.W == 0 {
+			scale = int64(g.N()) + 1
+			run = g.Reweight(func(_ graph.EdgeID, w int64) int64 {
+				if w == 0 {
+					return 1
+				}
+				return w * scale
+			})
+			break
+		}
+	}
+	var maxOff int64
+	for _, o := range sources {
+		if o*scale > maxOff {
+			maxOff = o * scale
+		}
+	}
+	d0, levels := startThreshold(run, maxOff)
+
+	provider := newCoverProvider(run)
+	eng := simnet.New(run, simnet.Config{Model: simnet.Sleeping, MaxRounds: opts.MaxRounds})
+	res, err := eng.Run(func(c *simnet.Ctx) {
+		mb := proto.NewMailbox(c)
+		st := &cssp{mb: mb, epsNum: epsNum, epsDen: epsDen, provider: provider}
+		off := bfs.NotSource
+		if o, ok := sources[c.ID()]; ok {
+			off = o * scale
+		}
+		d := st.recEnergy(callParams{path: 1, d: d0, offset: off, sizeBound: int64(c.N())})
+		c.SetOutput(output{Dist: d, Subproblems: st.subproblems})
+	})
+	if err != nil {
+		return nil, Stats{}, simnet.Metrics{}, err
+	}
+	dists := make([]int64, g.N())
+	stats := Stats{Subproblems: make([]int, g.N()), Levels: levels}
+	for v, o := range res.Outputs {
+		out := o.(output)
+		if out.Dist == graph.Inf {
+			dists[v] = graph.Inf
+		} else {
+			dists[v] = out.Dist / scale
+		}
+		stats.Subproblems[v] = out.Subproblems
+	}
+	return dists, stats, res.Metrics, nil
+}
+
+// RunEnergySSSP is the single-source specialization of Theorem 1.1.
+func RunEnergySSSP(g *graph.Graph, source graph.NodeID, opts Options) ([]int64, Stats, simnet.Metrics, error) {
+	return RunEnergyCSSP(g, map[graph.NodeID]int64{source: 0}, opts)
+}

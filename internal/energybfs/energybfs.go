@@ -1,0 +1,490 @@
+// Package energybfs implements the sleeping-model (energy) thresholded BFS
+// of Section 3.3 of the paper (Theorem 3.8, and the from-scratch form of
+// Theorems 3.13/3.14 with the cover supplied by package decomp):
+//
+//   - Clusters of the layered sparse cover run periodic convergecast +
+//     broadcast cycles on their trees (Section 3.1.1): layer j uses period
+//     P_j = Θ(B^j), so a node is awake O(1) rounds per cycle per cluster.
+//   - A cluster is activated when its parent cluster is reached by the BFS
+//     (Definition 3.5's relevance seeds the cascade: clusters whose parent
+//     contains a source start active). A cluster deactivates once it has
+//     been reached and all its child clusters are active (layer 0: once
+//     all members are reached).
+//   - The BFS advances one unit of the metric per fixed interval I, chosen
+//     from the cover's measured depths so that the activation cascade
+//     provably outruns the frontier (Lemma 3.7's condition): a layer-j
+//     cluster is fully awake before any of its nodes can be reached.
+//   - A node listens at BFS step rounds while one of its layer-0 clusters
+//     is active, so token messages are never lost — the tests assert
+//     LostMessages == 0 and exact distances.
+//
+// Tokens carry the receiver's distance; an edge of metric weight w relays
+// from a node at distance d in the round of step d+w (a sleeping-model
+// Dial scheme supporting the rounded weights and source offsets the energy
+// CSSP of Theorem 3.15 needs).
+package energybfs
+
+import (
+	"fmt"
+
+	"dsssp/internal/decomp"
+	"dsssp/internal/graph"
+	"dsssp/internal/proto"
+	"dsssp/internal/simnet"
+)
+
+// NotSource marks a non-source node.
+const NotSource = int64(-1)
+
+// Params configures one thresholded energy BFS over a prebuilt cover. All
+// participants must pass identical Tag, StartRound, Cover, and Threshold.
+type Params struct {
+	// Tag is the base tag; the run uses Tag (tokens) and
+	// Tag+1+2*cluster+{0,1} for cluster sweeps.
+	Tag        uint64
+	StartRound int64
+	Cover      *decomp.Cover
+	// Threshold is the inclusive metric distance bound (Definition 2.3);
+	// it must be <= Cover.MaxDist.
+	Threshold int64
+	// SourceOffset is this node's offset (>= 0) or NotSource.
+	SourceOffset int64
+	// Eligible restricts usable edges (nil = all). Must agree with the
+	// participant set the cover was built on.
+	Eligible func(i int) bool
+	// WeightOf is the metric weight of incident edge i (>= 1), matching
+	// the cover's metric. Nil means unit weights (hop BFS).
+	WeightOf func(i int) int64
+}
+
+// StepInterval returns the BFS pace I: rounds per unit of metric distance,
+// large enough that one full activation hand-off (two cluster cycles of the
+// parent plus the child window alignment) completes while the BFS crosses
+// half a parent radius.
+func StepInterval(cv *decomp.Cover) int64 {
+	var best int64 = 1
+	for _, l := range cv.Layers {
+		need := 6 * ((l.Period + l.Radius - 1) / l.Radius)
+		if need > best {
+			best = need
+		}
+	}
+	return best + 1
+}
+
+// initLen returns the initialization phase length: one cycle window per
+// layer, scheduled top-down.
+func initLen(cv *decomp.Cover) int64 {
+	var sum int64
+	for _, l := range cv.Layers {
+		sum += l.Period
+	}
+	return sum
+}
+
+// Duration returns the full number of rounds a run occupies; every
+// participant returns at StartRound + Duration. (The +1 shift lets callers
+// invoke Run while already at StartRound.)
+func Duration(cv *decomp.Cover, threshold int64) int64 {
+	return 1 + initLen(cv) + (threshold+2)*StepInterval(cv) + 2
+}
+
+// membership tracks runtime state of one cluster membership.
+type membership struct {
+	m decomp.Membership
+	// containsSource is learned during initialization.
+	containsSource bool
+	active         bool
+	deactivated    bool
+	// firstWindow is the earliest BFS-phase window index this membership
+	// serves (set at activation).
+	firstWindow int64
+	// rootAgg accumulates the root's convergecast result within a window.
+	rootAgg agg
+}
+
+type agg struct {
+	AnyReached  bool
+	ChildActive bool
+	AllReached  bool
+	AnySource   bool
+}
+
+func combineAgg(a, b agg) agg {
+	return agg{
+		AnyReached:  a.AnyReached || b.AnyReached,
+		ChildActive: a.ChildActive && b.ChildActive,
+		AllReached:  a.AllReached && b.AllReached,
+		AnySource:   a.AnySource || b.AnySource,
+	}
+}
+
+type downMsg struct {
+	Reached    bool
+	Deactivate bool
+	Source     bool
+}
+
+// runner is the per-node event loop state.
+type runner struct {
+	mb        *proto.Mailbox
+	p         Params
+	cv        *decomp.Cover
+	ms        []*membership
+	byCluster map[int32]*membership
+
+	bfsStart int64
+	stepI    int64
+	end      int64
+
+	dist    int64
+	weights []int64
+	elig    []bool
+	sent    []bool
+}
+
+// Run executes the thresholded energy BFS; only participants (nodes the
+// cover was built over) may call it. Returns the node's distance, or
+// graph.Inf above the threshold. The node returns at StartRound+Duration.
+func Run(mb *proto.Mailbox, p Params) int64 {
+	if p.Threshold > p.Cover.MaxDist {
+		panic(fmt.Sprintf("energybfs: threshold %d exceeds cover MaxDist %d", p.Threshold, p.Cover.MaxDist))
+	}
+	c := mb.C
+	r := &runner{
+		mb: mb, p: p, cv: p.Cover,
+		byCluster: make(map[int32]*membership),
+		dist:      graph.Inf,
+		bfsStart:  p.StartRound + 1 + initLen(p.Cover),
+		stepI:     StepInterval(p.Cover),
+	}
+	r.end = p.StartRound + Duration(p.Cover, p.Threshold)
+	for _, m := range p.Cover.Node[c.ID()] {
+		mm := &membership{m: m}
+		r.ms = append(r.ms, mm)
+		r.byCluster[m.Cluster] = mm
+	}
+	r.weights = make([]int64, c.Degree())
+	r.elig = make([]bool, c.Degree())
+	r.sent = make([]bool, c.Degree())
+	for i := 0; i < c.Degree(); i++ {
+		r.elig[i] = p.Eligible == nil || p.Eligible(i)
+		if p.WeightOf != nil {
+			r.weights[i] = p.WeightOf(i)
+		} else {
+			r.weights[i] = 1
+		}
+		if r.weights[i] < 1 {
+			panic(fmt.Sprintf("energybfs: node %d edge %d has metric weight %d", c.ID(), i, r.weights[i]))
+		}
+	}
+
+	r.initPhase()
+	r.bfsPhase()
+	mb.AdvanceTo(r.end)
+	if r.dist > p.Threshold {
+		return graph.Inf
+	}
+	return r.dist
+}
+
+func (r *runner) tagUp(cl int32) uint64   { return r.p.Tag + 1 + 2*uint64(cl) }
+func (r *runner) tagDown(cl int32) uint64 { return r.p.Tag + 2 + 2*uint64(cl) }
+
+// initPhase runs one convergecast+broadcast cycle per cluster (top layer
+// first) so every member learns which clusters contain sources; clusters
+// whose parent contains a source (or top-layer clusters containing one)
+// start active (the paper's initialization, Section 3.3).
+func (r *runner) initPhase() {
+	top := len(r.cv.Layers) - 1
+	isSource := r.p.SourceOffset >= 0 && r.p.SourceOffset <= r.p.Threshold
+	// Window start per layer, top-down.
+	starts := make([]int64, len(r.cv.Layers))
+	at := r.p.StartRound + 1
+	for j := top; j >= 0; j-- {
+		starts[j] = at
+		at += r.cv.Layers[j].Period
+	}
+	// Event loop over this node's init duties.
+	for {
+		next := r.end
+		for _, mm := range r.ms {
+			for _, d := range r.dutyRounds(mm, starts[mm.m.Layer]) {
+				if d > r.mb.Round() && d < next {
+					next = d
+				}
+			}
+		}
+		if next >= r.bfsStart {
+			break
+		}
+		r.mb.SleepUntil(next)
+		now := r.mb.Round()
+		for _, mm := range r.ms {
+			r.serveWindow(mm, starts[mm.m.Layer], now, agg{AnySource: isSource, ChildActive: true, AllReached: true}, true)
+		}
+	}
+	// Pre-activation: top-layer clusters containing sources; below, any
+	// cluster whose parent contains a source.
+	for _, mm := range r.ms {
+		pre := false
+		if mm.m.Layer == top {
+			pre = mm.containsSource
+		} else if pm, ok := r.byCluster[mm.m.ParentCluster]; ok {
+			pre = pm.containsSource
+		}
+		if pre {
+			mm.active = true
+			mm.firstWindow = 0
+		}
+	}
+	if isSource {
+		r.dist = r.p.SourceOffset
+	}
+}
+
+// dutyRounds lists this membership's wake rounds within the cycle window
+// starting at w (four depth-indexed rounds; leaves and the root skip some).
+func (r *runner) dutyRounds(mm *membership, w int64) []int64 {
+	ld := r.cv.Layers[mm.m.Layer].MaxDepth
+	d := mm.m.Depth
+	rounds := make([]int64, 0, 4)
+	if len(mm.m.Children) > 0 {
+		rounds = append(rounds, w+ld-d-1)
+	}
+	rounds = append(rounds, w+ld-d)
+	bStart := w + ld + 1
+	if d > 0 {
+		rounds = append(rounds, bStart+d-1, bStart+d)
+	} else {
+		rounds = append(rounds, bStart)
+	}
+	return rounds
+}
+
+// serveWindow performs whatever duty round `now` is within the window
+// starting at w. own is this node's convergecast contribution; init
+// selects the initialization semantics (aggregate AnySource, apply nothing
+// but containsSource).
+func (r *runner) serveWindow(mm *membership, w int64, now int64, own agg, init bool) {
+	ld := r.cv.Layers[mm.m.Layer].MaxDepth
+	d := mm.m.Depth
+	upSend := w + ld - d
+	bStart := w + ld + 1
+	cl := mm.m.Cluster
+	switch now {
+	case upSend:
+		a := own
+		for _, msg := range r.mb.Take(r.tagUp(cl)) {
+			a = combineAgg(a, msg.Body.(agg))
+		}
+		if d > 0 {
+			r.mb.Send(mm.m.Parent, r.tagUp(cl), a)
+		} else {
+			mm.rootAgg = a
+		}
+	case bStart + d: // root: bStart; others: process+forward round
+		var dm downMsg
+		if d == 0 {
+			dm = r.decide(mm, init)
+		} else {
+			msgs := r.mb.Take(r.tagDown(cl))
+			if len(msgs) == 0 {
+				panic(fmt.Sprintf("energybfs: node %d missed broadcast of cluster %d at round %d", r.mb.C.ID(), cl, now))
+			}
+			dm = msgs[0].Body.(downMsg)
+		}
+		for _, ch := range mm.m.Children {
+			r.mb.Send(ch, r.tagDown(cl), dm)
+		}
+		r.apply(mm, dm, w, init)
+	}
+	// Listen rounds (upSend-1 and bStart+d-1) need no action: being awake
+	// is the point.
+}
+
+func (r *runner) decide(mm *membership, init bool) downMsg {
+	a := mm.rootAgg
+	if init {
+		return downMsg{Source: a.AnySource}
+	}
+	deact := false
+	if mm.m.Layer == 0 {
+		deact = a.AllReached
+	} else {
+		deact = a.AnyReached && a.ChildActive
+	}
+	return downMsg{Reached: a.AnyReached, Deactivate: deact}
+}
+
+func (r *runner) apply(mm *membership, dm downMsg, w int64, init bool) {
+	if init {
+		mm.containsSource = dm.Source
+		return
+	}
+	if dm.Reached {
+		// Activate the child clusters this node belongs to.
+		layer := mm.m.Layer
+		p := r.cv.Layers[layer].Period
+		kEnd := w + p // parent window end
+		for _, other := range r.ms {
+			if other.m.Layer == layer-1 && other.m.ParentCluster == mm.m.Cluster && !other.active && !other.deactivated {
+				pc := r.cv.Layers[layer-1].Period
+				other.active = true
+				other.firstWindow = (kEnd - r.bfsStart + pc - 1) / pc
+			}
+		}
+	}
+	if dm.Deactivate {
+		mm.deactivated = true
+	}
+}
+
+// bfsPhase runs the main loop: cluster cycles plus BFS steps.
+func (r *runner) bfsPhase() {
+	c := r.mb.C
+	lastStepRound := r.bfsStart + (r.p.Threshold+1)*r.stepI
+	for {
+		now := r.mb.Round()
+		// Process tokens (pumped by the last sleep).
+		r.drainTokens()
+		// Serve cluster windows scheduled for this round.
+		for _, mm := range r.ms {
+			if !mm.active || mm.deactivated {
+				continue
+			}
+			p := r.cv.Layers[mm.m.Layer].Period
+			if now < r.bfsStart {
+				continue
+			}
+			k := (now - r.bfsStart) / p
+			if k < mm.firstWindow {
+				continue
+			}
+			w := r.bfsStart + k*p
+			r.serveWindow(mm, w, now, agg{
+				AnyReached:  r.dist != graph.Inf,
+				ChildActive: r.childClustersActive(mm),
+				AllReached:  r.dist != graph.Inf,
+				AnySource:   false,
+			}, false)
+		}
+		// Send relays due now (step rounds).
+		if r.dist != graph.Inf && r.isStepRound(now) {
+			step := (now - r.bfsStart) / r.stepI
+			for i := 0; i < c.Degree(); i++ {
+				if r.elig[i] && !r.sent[i] && r.dist+r.weights[i] == step && step <= r.p.Threshold {
+					r.mb.Send(i, r.p.Tag, step)
+					r.sent[i] = true
+				}
+			}
+		}
+		// Next wake.
+		next := r.end
+		for _, mm := range r.ms {
+			if !mm.active || mm.deactivated {
+				continue
+			}
+			p := r.cv.Layers[mm.m.Layer].Period
+			base := r.bfsStart + maxI64(mm.firstWindow, (maxI64(now+1-r.bfsStart, 0))/p)*p
+			for w := base; w <= base+p; w += p {
+				for _, d := range r.dutyRounds(mm, w) {
+					if d > now && d < next {
+						next = d
+					}
+				}
+			}
+		}
+		if r.listening() || r.dist != graph.Inf {
+			if s := r.nextStepRound(now); s < next && s <= lastStepRound {
+				next = s
+			}
+		}
+		if next >= r.end {
+			return
+		}
+		r.mb.SleepUntil(next)
+	}
+}
+
+func (r *runner) drainTokens() {
+	for _, msg := range r.mb.Take(r.p.Tag) {
+		d := msg.Body.(int64)
+		if d < r.dist {
+			r.dist = d
+			for i := range r.sent {
+				r.sent[i] = false
+			}
+		}
+	}
+}
+
+func (r *runner) childClustersActive(mm *membership) bool {
+	layer := mm.m.Layer
+	if layer == 0 {
+		return true
+	}
+	for _, other := range r.ms {
+		if other.m.Layer == layer-1 && other.m.ParentCluster == mm.m.Cluster && !other.active && !other.deactivated {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *runner) listening() bool {
+	for _, mm := range r.ms {
+		if mm.m.Layer == 0 && mm.active && !mm.deactivated {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *runner) isStepRound(now int64) bool {
+	return now >= r.bfsStart && (now-r.bfsStart)%r.stepI == 0
+}
+
+func (r *runner) nextStepRound(now int64) int64 {
+	if now < r.bfsStart {
+		return r.bfsStart
+	}
+	return now + r.stepI - (now-r.bfsStart)%r.stepI
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RunBFS is the standalone whole-graph wrapper (Theorem 3.13/3.14 shape):
+// it builds the layered cover for the hop metric and computes thresholded
+// hop distances from the sources in the Sleeping model.
+func RunBFS(g *graph.Graph, sources map[graph.NodeID]int64, threshold int64) ([]int64, simnet.Metrics, error) {
+	cv, err := decomp.Build(g, nil, nil, threshold)
+	if err != nil {
+		return nil, simnet.Metrics{}, err
+	}
+	eng := simnet.New(g, simnet.Config{Model: simnet.Sleeping})
+	res, err := eng.Run(func(c *simnet.Ctx) {
+		mb := proto.NewMailbox(c)
+		off := NotSource
+		if o, ok := sources[c.ID()]; ok {
+			off = o
+		}
+		d := Run(mb, Params{
+			Tag: 1, StartRound: 0, Cover: cv, Threshold: threshold, SourceOffset: off,
+		})
+		c.SetOutput(d)
+	})
+	if err != nil {
+		return nil, simnet.Metrics{}, err
+	}
+	out := make([]int64, g.N())
+	for i, v := range res.Outputs {
+		out[i] = v.(int64)
+	}
+	return out, res.Metrics, nil
+}

@@ -1,0 +1,67 @@
+package energybfs
+
+import (
+	"testing"
+
+	"dsssp/internal/decomp"
+	"dsssp/internal/graph"
+	"dsssp/internal/proto"
+	"dsssp/internal/simnet"
+)
+
+func decompBuild(g *graph.Graph, maxDist int64) (*decomp.Cover, error) {
+	return decomp.Build(g, nil, nil, maxDist)
+}
+
+func buildWeighted(g *graph.Graph, maxDist int64) (*decomp.Cover, error) {
+	w := func(u graph.NodeID, i int) int64 { return g.Adj(u)[i].W }
+	return decomp.Build(g, nil, w, maxDist)
+}
+
+func runWeighted(t *testing.T, g *graph.Graph, cv *decomp.Cover, threshold int64) ([]int64, simnet.Metrics) {
+	t.Helper()
+	eng := simnet.New(g, simnet.Config{Model: simnet.Sleeping})
+	res, err := eng.Run(func(c *simnet.Ctx) {
+		mb := proto.NewMailbox(c)
+		off := NotSource
+		if c.ID() == 0 {
+			off = 0
+		}
+		d := Run(mb, Params{
+			Tag: 1, StartRound: 0, Cover: cv, Threshold: threshold,
+			SourceOffset: off, WeightOf: c.Weight,
+		})
+		c.SetOutput(d)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int64, g.N())
+	for i, v := range res.Outputs {
+		out[i] = v.(int64)
+	}
+	return out, res.Metrics
+}
+
+// runWithRoundCheck returns each node's return round.
+func runWithRoundCheck(t *testing.T, g *graph.Graph, cv *decomp.Cover, threshold int64) ([]int64, simnet.Metrics) {
+	t.Helper()
+	eng := simnet.New(g, simnet.Config{Model: simnet.Sleeping})
+	res, err := eng.Run(func(c *simnet.Ctx) {
+		mb := proto.NewMailbox(c)
+		off := NotSource
+		if c.ID() == 0 {
+			off = 0
+		}
+		Run(mb, Params{Tag: 1, StartRound: 0, Cover: cv, Threshold: threshold, SourceOffset: off})
+		c.SetOutput(c.Round())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int64, g.N())
+	for i, v := range res.Outputs {
+		out[i] = v.(int64)
+	}
+	return out, res.Metrics
+}

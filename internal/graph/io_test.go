@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := RandomConnected(30, 20, UniformWeights(9, 5), 5)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d", g2.N(), g2.M(), g.N(), g.M())
+	}
+	want := Dijkstra(g, 0)
+	got := Dijkstra(g2, 0)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("distances differ after round trip at %d", v)
+		}
+	}
+}
+
+func TestReadEdgeListComments(t *testing.T) {
+	in := `# a triangle
+n 3
+
+0 1 5
+1 2 3
+# chord
+0 2 10
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if d := Dijkstra(g, 0); d[2] != 8 {
+		t.Fatalf("d[2]=%d, want 8", d[2])
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",            // empty
+		"x 3",         // bad header
+		"n 3\n0 0 1",  // self-loop
+		"n 3\n0 9 1",  // out of range
+		"n 3\n0 1 -2", // negative weight
+		"n 3\n0 1",    // short line
+		"n 3\na b c",  // garbage
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := Path(3, UnitWeights)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, []int64{0, 1, Inf}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph G {", "0 -- 1", "1 -- 2", "(∞)", "(0)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

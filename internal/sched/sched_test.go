@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"testing"
+
+	"dsssp/internal/graph"
+	"dsssp/internal/simnet"
+)
+
+func TestComposeBasics(t *testing.T) {
+	// Two instances, both using edge 0 in round 0: aligned must serialize
+	// (+1), a delayed composition must not.
+	a := Trace{Rounds: 3, Entries: []simnet.TraceEntry{{Round: 0, Edge: 0, Dir: 0}}}
+	b := Trace{Rounds: 3, Entries: []simnet.TraceEntry{{Round: 0, Edge: 0, Dir: 0}}}
+	c := Compose(1, []Trace{a, b}, 1)
+	if c.Dilation != 3 || c.Congestion != 2 || c.MakespanSequential != 6 {
+		t.Fatalf("composition %+v", c)
+	}
+	if c.MakespanAligned != 4 { // horizon 3 + one serialization
+		t.Fatalf("aligned=%d, want 4", c.MakespanAligned)
+	}
+}
+
+func TestComposeNoConflicts(t *testing.T) {
+	a := Trace{Rounds: 5, Entries: []simnet.TraceEntry{{Round: 0, Edge: 0, Dir: 0}}}
+	b := Trace{Rounds: 5, Entries: []simnet.TraceEntry{{Round: 1, Edge: 0, Dir: 0}}}
+	c := Compose(1, []Trace{a, b}, 1)
+	if c.MakespanAligned != 5 {
+		t.Fatalf("no-conflict aligned=%d, want 5", c.MakespanAligned)
+	}
+}
+
+func TestComposeDirectionsIndependent(t *testing.T) {
+	// Same edge, opposite directions, same round: no serialization needed
+	// (CONGEST allows one message per direction).
+	a := Trace{Rounds: 2, Entries: []simnet.TraceEntry{{Round: 0, Edge: 0, Dir: 0}}}
+	b := Trace{Rounds: 2, Entries: []simnet.TraceEntry{{Round: 0, Edge: 0, Dir: 1}}}
+	c := Compose(1, []Trace{a, b}, 1)
+	if c.MakespanAligned != 2 {
+		t.Fatalf("aligned=%d, want 2", c.MakespanAligned)
+	}
+}
+
+func TestRandomDelaysBeatAligned(t *testing.T) {
+	// 20 identical wave instances sweeping across 25 edges for 100 rounds:
+	// aligned stacks all 20 on the same edge every round (makespan ~ 20T),
+	// random delays spread them (makespan ~ C + T).
+	const m, nInst, rounds = 25, 20, 100
+	traces := make([]Trace, nInst)
+	for i := range traces {
+		es := make([]simnet.TraceEntry, rounds)
+		for r := range es {
+			es[r] = simnet.TraceEntry{Round: int64(r), Edge: graph.EdgeID(r % m), Dir: 0}
+		}
+		traces[i] = Trace{Rounds: rounds, Entries: es}
+	}
+	c := Compose(m, traces, 7)
+	if c.MakespanAligned < nInst*rounds/2 {
+		t.Fatalf("aligned %d unexpectedly small", c.MakespanAligned)
+	}
+	if c.MakespanRandom*3 >= c.MakespanAligned {
+		t.Fatalf("random %d not far better than aligned %d", c.MakespanRandom, c.MakespanAligned)
+	}
+	if c.MakespanRandom >= c.MakespanSequential {
+		t.Fatalf("random %d not better than sequential %d", c.MakespanRandom, c.MakespanSequential)
+	}
+}
+
+func TestMakespanBoundHolds(t *testing.T) {
+	// The scheduling theorem shape: random-delay makespan = O(C + T) with
+	// modest constants, far below C*T for many bursty instances.
+	traces := make([]Trace, 40)
+	for i := range traces {
+		es := make([]simnet.TraceEntry, 10)
+		for r := range es {
+			es[r] = simnet.TraceEntry{Round: int64(r * 3), Edge: 0, Dir: 0}
+		}
+		traces[i] = Trace{Rounds: 30, Entries: es}
+	}
+	c := Compose(1, traces, 3)
+	bound := 4 * (c.Congestion + c.Dilation)
+	if c.MakespanRandom > bound {
+		t.Fatalf("random makespan %d exceeds 4(C+T)=%d", c.MakespanRandom, bound)
+	}
+}
+
+func TestAPSPWithRealTraces(t *testing.T) {
+	// End-to-end: record real Bellman-Ford-ish floods per source and
+	// compose. Uses a tiny flood program for speed.
+	g := graph.RandomConnected(24, 24, graph.UnitWeights, 5)
+	run := func(g *graph.Graph, s graph.NodeID) (Trace, error) {
+		eng := simnet.New(g, simnet.Config{Model: simnet.Congest, RecordTrace: true})
+		res, err := eng.Run(func(c *simnet.Ctx) {
+			d := int64(-1)
+			end := int64(c.N())
+			if c.ID() == s {
+				d = 0
+				for i := 0; i < c.Degree(); i++ {
+					c.Send(i, int64(1))
+				}
+			}
+			for c.Round() < end {
+				for _, m := range c.WaitMessage(end) {
+					if d == -1 {
+						d = m.Msg.(int64)
+						for i := 0; i < c.Degree(); i++ {
+							c.Send(i, d+1)
+						}
+					}
+				}
+				if d != -1 {
+					break
+				}
+			}
+		})
+		if err != nil {
+			return Trace{}, err
+		}
+		return Trace{Entries: res.Trace, Rounds: res.Metrics.Rounds}, nil
+	}
+	comp, err := APSP(g, nil, run, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.MakespanRandom > comp.MakespanSequential {
+		t.Fatalf("random %d worse than sequential %d", comp.MakespanRandom, comp.MakespanSequential)
+	}
+	if comp.Congestion < 2 {
+		t.Fatalf("expected overlapping edge usage, congestion=%d", comp.Congestion)
+	}
+}

@@ -1,0 +1,138 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+
+	"dsssp/internal/graph"
+)
+
+// Ctx is a node program's handle to the simulated world. All methods must be
+// called only from the node's own goroutine (the Program invocation).
+type Ctx struct {
+	eng *Engine
+	ns  *nodeState
+}
+
+// ID returns this node's identifier.
+func (c *Ctx) ID() graph.NodeID { return c.ns.id }
+
+// N returns the number of nodes in the network (standard global knowledge).
+func (c *Ctx) N() int { return c.eng.g.N() }
+
+// Model returns the execution model of this run.
+func (c *Ctx) Model() Model { return c.eng.cfg.Model }
+
+// Round returns the current round number.
+func (c *Ctx) Round() int64 { return c.ns.wakeRound }
+
+// Degree returns the number of incident edges.
+func (c *Ctx) Degree() int { return c.eng.g.Degree(c.ns.id) }
+
+// NeighborID returns the node at the other end of incident edge i.
+func (c *Ctx) NeighborID(i int) graph.NodeID { return c.eng.g.Adj(c.ns.id)[i].To }
+
+// Weight returns the weight of incident edge i.
+func (c *Ctx) Weight(i int) int64 { return c.eng.g.Adj(c.ns.id)[i].W }
+
+// EdgeID returns the global edge identifier of incident edge i.
+func (c *Ctx) EdgeID(i int) graph.EdgeID { return c.eng.g.Adj(c.ns.id)[i].ID }
+
+// NeighborIndex returns the adjacency index of the (first) edge to node v,
+// or -1 if v is not a neighbor.
+func (c *Ctx) NeighborIndex(v graph.NodeID) int {
+	adj := c.eng.g.Adj(c.ns.id)
+	i := sort.Search(len(adj), func(k int) bool { return adj[k].To >= v })
+	if i < len(adj) && adj[i].To == v {
+		return i
+	}
+	return -1
+}
+
+// Send queues a message on incident edge i for delivery at the end of the
+// current round. The destination receives it iff it is awake this round.
+func (c *Ctx) Send(i int, msg any) {
+	if i < 0 || i >= c.Degree() {
+		panic(fmt.Sprintf("simnet: node %d: Send to invalid neighbor index %d (degree %d)", c.ns.id, i, c.Degree()))
+	}
+	c.ns.outbox = append(c.ns.outbox, outMsg{nbIndex: i, msg: msg})
+}
+
+// SendID sends to neighbor v (panics if v is not adjacent).
+func (c *Ctx) SendID(v graph.NodeID, msg any) {
+	i := c.NeighborIndex(v)
+	if i < 0 {
+		panic(fmt.Sprintf("simnet: node %d: SendID to non-neighbor %d", c.ns.id, v))
+	}
+	c.Send(i, msg)
+}
+
+// SetOutput records this node's output value, returned from Engine.Run.
+func (c *Ctx) SetOutput(v any) { c.ns.output = v }
+
+// Next ends the current round and resumes the node in the next round.
+// It returns the messages received since the previous resume.
+func (c *Ctx) Next() []Inbound {
+	c.ns.wakeRound++
+	c.yield(yieldRun)
+	return c.take()
+}
+
+// SleepUntil ends the current round and sleeps until round r (exclusive of
+// the rounds in between: in Sleeping mode, messages sent during them are
+// lost). r must be strictly greater than the current round.
+func (c *Ctx) SleepUntil(r int64) []Inbound {
+	if r <= c.ns.wakeRound {
+		panic(fmt.Sprintf("simnet: node %d: SleepUntil(%d) not after current round %d", c.ns.id, r, c.ns.wakeRound))
+	}
+	c.ns.wakeRound = r
+	c.yield(yieldRun)
+	return c.take()
+}
+
+// SleepUntilAtLeast is SleepUntil clamped to the next round; use it when the
+// target round may already have passed due to budget slack.
+func (c *Ctx) SleepUntilAtLeast(r int64) []Inbound {
+	if r <= c.ns.wakeRound {
+		r = c.ns.wakeRound + 1
+	}
+	return c.SleepUntil(r)
+}
+
+// WaitMessage parks the node until a message arrives (resuming in the round
+// after the arrival) or until round deadline, whichever is first. A negative
+// deadline means no deadline; the engine reports a deadlock if every
+// unhalted node ends up parked without a deadline.
+//
+// WaitMessage is only available in Congest mode: in the sleeping model a
+// node cannot be woken by a message (messages to sleeping nodes are lost).
+func (c *Ctx) WaitMessage(deadline int64) []Inbound {
+	if c.eng.cfg.Model != Congest {
+		panic(fmt.Sprintf("simnet: node %d: WaitMessage is only valid in Congest mode", c.ns.id))
+	}
+	if len(c.ns.inbox) > 0 {
+		// A message is already pending; behave like Next.
+		return c.Next()
+	}
+	if deadline >= 0 && deadline <= c.ns.wakeRound {
+		panic(fmt.Sprintf("simnet: node %d: WaitMessage deadline %d not after current round %d", c.ns.id, deadline, c.ns.wakeRound))
+	}
+	c.ns.parkDeadline = deadline
+	c.yield(yieldPark)
+	return c.take()
+}
+
+func (c *Ctx) take() []Inbound {
+	b := c.ns.inbox
+	c.ns.inbox = nil
+	return b
+}
+
+func (c *Ctx) yield(kind yieldKind) {
+	c.ns.kind = kind
+	c.ns.yield <- struct{}{}
+	<-c.ns.resume
+	if c.eng.killed {
+		panic(errKilled)
+	}
+}

@@ -1,0 +1,469 @@
+// Package simnet implements the synchronous message-passing model of
+// distributed computing used by the paper (CONGEST), together with its
+// sleeping-model extension where nodes may sleep and messages sent to a
+// sleeping node are lost (Section 1.2 of the paper).
+//
+// Each node runs a Program in its own goroutine and communicates with the
+// engine through a Ctx. Execution proceeds in lock-step rounds:
+//
+//   - A node is awake in exactly the rounds in which it executes (each
+//     yield point — Next, SleepUntil, WaitMessage — ends one awake round).
+//   - A message sent in round r is received iff the destination is awake in
+//     round r; it is handed to the destination at its next resume.
+//   - In Congest mode all nodes are logically always awake: messages are
+//     never lost and WaitMessage allows event-driven execution. The engine
+//     still skips nodes with nothing to do; that is a simulation
+//     optimization, not a model change.
+//   - In Sleeping mode the engine counts each node's awake rounds — the
+//     paper's energy measure — and drops messages to sleeping nodes.
+//
+// The engine is deterministic: nodes are resumed and their messages
+// delivered in node-ID order, so a run is a pure function of the graph,
+// the program, and the per-node inputs.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+
+	"dsssp/internal/graph"
+)
+
+// Model selects the execution model.
+type Model int
+
+// Execution models.
+const (
+	// Congest is the standard synchronous CONGEST model: all nodes are
+	// always awake, messages are never lost.
+	Congest Model = iota + 1
+	// Sleeping is the sleeping (energy) model: nodes are awake only in the
+	// rounds they execute, and messages to sleeping nodes are lost.
+	Sleeping
+)
+
+func (m Model) String() string {
+	switch m {
+	case Congest:
+		return "congest"
+	case Sleeping:
+		return "sleeping"
+	default:
+		return fmt.Sprintf("model(%d)", int(m))
+	}
+}
+
+// Config configures an Engine.
+type Config struct {
+	Model Model
+	// MaxRounds aborts the run if the round counter exceeds it.
+	// 0 means a generous default of 1<<40.
+	MaxRounds int64
+	// RecordTrace records one TraceEntry per message (for the APSP
+	// scheduling analysis).
+	RecordTrace bool
+	// StrictCongest makes the run fail if more than one message crosses an
+	// edge in the same direction in the same round (the literal CONGEST
+	// constraint). Leave false for algorithms that multiplex subroutines
+	// and rely on megaround accounting (Section 3.1.3).
+	StrictCongest bool
+}
+
+// Inbound is a received message.
+type Inbound struct {
+	From graph.NodeID
+	// NbIndex is the receiver's adjacency index of the edge the message
+	// arrived on.
+	NbIndex int
+	// Round is the round in which the message was sent (and received).
+	Round int64
+	Msg   any
+}
+
+// TraceEntry records one message for scheduling analysis.
+type TraceEntry struct {
+	Round int64
+	Edge  graph.EdgeID
+	// Dir is 0 if sent by the canonical (smaller-ID) endpoint, 1 otherwise.
+	Dir byte
+}
+
+// Metrics aggregates the complexity measures the paper's theorems bound.
+type Metrics struct {
+	// Rounds is the number of rounds elapsed (last active round + 1).
+	Rounds int64
+	// StrictRounds is the runtime after expanding every round into
+	// max(1, max_e per-direction load) strict CONGEST rounds (megaround
+	// accounting, Section 3.1.3).
+	StrictRounds int64
+	// Messages is the total number of messages sent.
+	Messages int64
+	// LostMessages counts messages sent to sleeping nodes (Sleeping mode).
+	LostMessages int64
+	// DroppedAfterHalt counts messages sent to halted nodes.
+	DroppedAfterHalt int64
+	// MaxEdgeMessages is the maximum, over undirected edges, of the total
+	// messages carried (both directions) — the paper's congestion measure.
+	MaxEdgeMessages int64
+	// TotalAwake is the sum over nodes of awake rounds.
+	TotalAwake int64
+	// MaxAwake is the maximum over nodes of awake rounds — the paper's
+	// energy complexity measure.
+	MaxAwake int64
+	// PerEdgeMessages holds total messages per undirected edge.
+	PerEdgeMessages []int64
+	// PerNodeAwake holds awake rounds per node.
+	PerNodeAwake []int64
+}
+
+func (m *Metrics) String() string {
+	return fmt.Sprintf("rounds=%d strict=%d msgs=%d lost=%d maxEdge=%d maxAwake=%d totalAwake=%d",
+		m.Rounds, m.StrictRounds, m.Messages, m.LostMessages, m.MaxEdgeMessages, m.MaxAwake, m.TotalAwake)
+}
+
+// Program is the code run by every node. The Ctx gives access to the node's
+// local view. A Program must only interact with the world through its Ctx;
+// when it returns, the node halts.
+type Program func(*Ctx)
+
+// Result is the outcome of a completed run.
+type Result struct {
+	// Outputs holds the value each node passed to Ctx.SetOutput (nil if
+	// none).
+	Outputs []any
+	Metrics Metrics
+	// Trace holds per-message entries when Config.RecordTrace is set.
+	Trace []TraceEntry
+}
+
+const defaultMaxRounds = int64(1) << 40
+
+type yieldKind int
+
+const (
+	yieldRun  yieldKind = iota + 1 // scheduled wake
+	yieldPark                      // Congest WaitMessage
+	yieldHalt                      // program returned
+)
+
+type outMsg struct {
+	nbIndex int
+	msg     any
+}
+
+type nodeState struct {
+	id     graph.NodeID
+	resume chan struct{}
+	yield  chan struct{}
+
+	inbox  []Inbound
+	outbox []outMsg
+
+	kind         yieldKind
+	wakeRound    int64
+	parkDeadline int64 // <0: none
+	seq          int64 // invalidates stale heap entries
+	halted       bool
+	output       any
+	perr         error
+}
+
+// Engine executes one Program on every node of a graph.
+type Engine struct {
+	g   *graph.Graph
+	cfg Config
+
+	nodes []*nodeState
+	// rev[u][i] is v's adjacency index of the edge that is u's i-th edge.
+	rev [][]int32
+
+	killed bool
+}
+
+// New creates an engine for one run over g. The graph must have sorted
+// adjacency lists (all generators guarantee this).
+func New(g *graph.Graph, cfg Config) *Engine {
+	if cfg.Model != Congest && cfg.Model != Sleeping {
+		panic("simnet: config needs an explicit Model")
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = defaultMaxRounds
+	}
+	e := &Engine{g: g, cfg: cfg}
+	e.buildReverseIndex()
+	return e
+}
+
+func (e *Engine) buildReverseIndex() {
+	g := e.g
+	// For each edge, remember each endpoint's adjacency index.
+	type slot struct {
+		u    graph.NodeID
+		iAdj int32
+	}
+	firstSeen := make(map[graph.EdgeID]slot, g.M())
+	e.rev = make([][]int32, g.N())
+	for u := 0; u < g.N(); u++ {
+		e.rev[u] = make([]int32, g.Degree(graph.NodeID(u)))
+	}
+	for u := 0; u < g.N(); u++ {
+		for i, h := range g.Adj(graph.NodeID(u)) {
+			if s, ok := firstSeen[h.ID]; ok {
+				e.rev[u][i] = s.iAdj
+				e.rev[s.u][s.iAdj] = int32(i)
+			} else {
+				firstSeen[h.ID] = slot{graph.NodeID(u), int32(i)}
+			}
+		}
+	}
+}
+
+type wakeEntry struct {
+	round int64
+	id    graph.NodeID
+	seq   int64
+}
+
+type wakeHeap []wakeEntry
+
+func (h wakeHeap) Len() int { return len(h) }
+func (h wakeHeap) Less(i, j int) bool {
+	if h[i].round != h[j].round {
+		return h[i].round < h[j].round
+	}
+	return h[i].id < h[j].id
+}
+func (h wakeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *wakeHeap) Push(x interface{}) { *h = append(*h, x.(wakeEntry)) }
+func (h *wakeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run executes the program on all nodes until every node halts (or an error
+// such as deadlock, round overflow, or a node panic occurs). Run may be
+// called only once per Engine.
+func (e *Engine) Run(p Program) (*Result, error) {
+	n := e.g.N()
+	e.nodes = make([]*nodeState, n)
+	res := &Result{
+		Outputs: make([]any, n),
+	}
+	met := &res.Metrics
+	met.PerEdgeMessages = make([]int64, e.g.M())
+	met.PerNodeAwake = make([]int64, n)
+
+	for i := 0; i < n; i++ {
+		ns := &nodeState{
+			id:     graph.NodeID(i),
+			resume: make(chan struct{}),
+			yield:  make(chan struct{}),
+		}
+		e.nodes[i] = ns
+		ctx := &Ctx{eng: e, ns: ns}
+		go func(ns *nodeState, ctx *Ctx) {
+			defer func() {
+				if r := recover(); r != nil {
+					if r == errKilled {
+						// Engine-initiated shutdown; exit quietly
+						// without another yield handshake.
+						return
+					}
+					ns.perr = fmt.Errorf("node %d panicked: %v", ns.id, r)
+				}
+				ns.kind = yieldHalt
+				ns.yield <- struct{}{}
+			}()
+			<-ns.resume
+			if e.killed {
+				panic(errKilled)
+			}
+			p(ctx)
+		}(ns, ctx)
+	}
+
+	// All nodes wake at round 0.
+	wh := make(wakeHeap, 0, n)
+	for i := 0; i < n; i++ {
+		wh = append(wh, wakeEntry{0, graph.NodeID(i), 0})
+	}
+	heap.Init(&wh)
+
+	halted := 0
+	parked := 0
+	// Per-round directed-edge load tracking (epoch trick).
+	dirLoad := make([]int64, 2*e.g.M())
+	dirSeen := make([]int64, 2*e.g.M())
+	for i := range dirSeen {
+		dirSeen[i] = -1
+	}
+	awakeEpoch := make([]int64, n)
+	for i := range awakeEpoch {
+		awakeEpoch[i] = -1
+	}
+
+	defer e.shutdown()
+
+	var cur int64 = -1
+	batch := make([]graph.NodeID, 0, n)
+	for halted < n {
+		if wh.Len() == 0 {
+			if parked > 0 {
+				return nil, fmt.Errorf("simnet: deadlock at round %d: %d node(s) parked in WaitMessage with no pending wakeups", cur, parked)
+			}
+			return nil, fmt.Errorf("simnet: internal error: no wakeups and %d unhalted nodes", n-halted)
+		}
+		cur = wh[0].round
+		if cur > e.cfg.MaxRounds {
+			return nil, fmt.Errorf("simnet: exceeded MaxRounds=%d", e.cfg.MaxRounds)
+		}
+		batch = batch[:0]
+		for wh.Len() > 0 && wh[0].round == cur {
+			we := heap.Pop(&wh).(wakeEntry)
+			ns := e.nodes[we.id]
+			if ns.halted || ns.seq != we.seq {
+				continue // stale entry
+			}
+			if ns.kind == yieldPark {
+				// Deadline expiry of a parked node.
+				ns.kind = yieldRun
+				parked--
+			}
+			batch = append(batch, we.id)
+		}
+		// Resume each awake node in ID order (heap pops give ID order for
+		// equal rounds).
+		for _, id := range batch {
+			ns := e.nodes[id]
+			awakeEpoch[id] = cur
+			met.PerNodeAwake[id]++
+			met.TotalAwake++
+			ns.wakeRound = cur
+			ns.resume <- struct{}{}
+			<-ns.yield
+			if ns.perr != nil {
+				ns.halted = true // goroutine has exited
+				return nil, ns.perr
+			}
+			switch ns.kind {
+			case yieldHalt:
+				ns.halted = true
+				halted++
+				res.Outputs[id] = ns.output
+			case yieldPark:
+				parked++
+				if ns.parkDeadline >= 0 {
+					ns.seq++
+					heap.Push(&wh, wakeEntry{ns.parkDeadline, id, ns.seq})
+				}
+			case yieldRun:
+				ns.seq++
+				heap.Push(&wh, wakeEntry{ns.wakeRound, id, ns.seq})
+			}
+		}
+		// Deliver this round's messages in sender-ID order.
+		var maxLoad int64 = 1
+		for _, id := range batch {
+			ns := e.nodes[id]
+			if len(ns.outbox) == 0 {
+				continue
+			}
+			adj := e.g.Adj(id)
+			for _, om := range ns.outbox {
+				h := adj[om.nbIndex]
+				met.Messages++
+				met.PerEdgeMessages[h.ID]++
+				dirBit := int64(0)
+				if id > h.To {
+					dirBit = 1
+				}
+				di := 2*int64(h.ID) + dirBit
+				if dirSeen[di] != cur {
+					dirSeen[di] = cur
+					dirLoad[di] = 0
+				}
+				dirLoad[di]++
+				if dirLoad[di] > maxLoad {
+					maxLoad = dirLoad[di]
+				}
+				if e.cfg.StrictCongest && dirLoad[di] > 1 {
+					return nil, fmt.Errorf("simnet: strict CONGEST violation on edge %d (round %d)", h.ID, cur)
+				}
+				if e.cfg.RecordTrace {
+					res.Trace = append(res.Trace, TraceEntry{cur, h.ID, byte(dirBit)})
+				}
+				dst := e.nodes[h.To]
+				switch {
+				case dst.halted:
+					met.DroppedAfterHalt++
+				case e.cfg.Model == Sleeping && awakeEpoch[h.To] != cur:
+					met.LostMessages++
+				default:
+					dst.inbox = append(dst.inbox, Inbound{
+						From:    id,
+						NbIndex: int(e.rev[id][om.nbIndex]),
+						Round:   cur,
+						Msg:     om.msg,
+					})
+					if dst.kind == yieldPark {
+						dst.kind = yieldRun
+						dst.wakeRound = cur + 1
+						dst.seq++
+						parked--
+						heap.Push(&wh, wakeEntry{cur + 1, h.To, dst.seq})
+					}
+				}
+			}
+			ns.outbox = ns.outbox[:0]
+		}
+		met.StrictRounds += maxLoad - 1
+	}
+	met.Rounds = cur + 1
+	met.StrictRounds += met.Rounds
+	for _, c := range met.PerEdgeMessages {
+		if c > met.MaxEdgeMessages {
+			met.MaxEdgeMessages = c
+		}
+	}
+	for _, a := range met.PerNodeAwake {
+		if a > met.MaxAwake {
+			met.MaxAwake = a
+		}
+	}
+	return res, nil
+}
+
+// shutdown unblocks and terminates any still-running node goroutines.
+func (e *Engine) shutdown() {
+	e.killed = true
+	for _, ns := range e.nodes {
+		if ns == nil || ns.halted {
+			continue
+		}
+		// The node is blocked waiting for resume (yieldRun/yieldPark) or
+		// has already delivered a halt yield consumed above. Resume it so
+		// it can observe the kill flag and exit.
+	drain:
+		for {
+			select {
+			case ns.resume <- struct{}{}:
+				// It will panic(errKilled) and exit without yielding.
+				break drain
+			case <-ns.yield:
+				if ns.kind == yieldHalt {
+					ns.halted = true
+					break drain
+				}
+			}
+		}
+	}
+}
+
+type killSentinel struct{}
+
+func (killSentinel) Error() string { return "simnet: engine shut down" }
+
+var errKilled error = killSentinel{}

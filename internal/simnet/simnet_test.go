@@ -1,0 +1,435 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+
+	"dsssp/internal/graph"
+)
+
+func TestFloodCongest(t *testing.T) {
+	// Simple BFS flood on a path: node 0 starts, everyone learns distance.
+	g := graph.Path(6, graph.UnitWeights)
+	e := New(g, Config{Model: Congest, StrictCongest: true})
+	res, err := e.Run(func(c *Ctx) {
+		dist := int64(-1)
+		if c.ID() == 0 {
+			dist = 0
+			for i := 0; i < c.Degree(); i++ {
+				c.Send(i, int64(1))
+			}
+			c.SetOutput(dist)
+			return
+		}
+		for {
+			msgs := c.WaitMessage(100)
+			for _, m := range msgs {
+				d := m.Msg.(int64)
+				if dist == -1 {
+					dist = d
+					for i := 0; i < c.Degree(); i++ {
+						if i != m.NbIndex {
+							c.Send(i, d+1)
+						}
+					}
+				}
+			}
+			if dist >= 0 {
+				c.SetOutput(dist)
+				return
+			}
+			if c.Round() >= 99 {
+				c.SetOutput(dist)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 6; v++ {
+		if res.Outputs[v].(int64) != int64(v) {
+			t.Fatalf("node %d output %v, want %d", v, res.Outputs[v], v)
+		}
+	}
+	if res.Metrics.Messages != 5 {
+		t.Fatalf("messages=%d, want 5", res.Metrics.Messages)
+	}
+	if res.Metrics.MaxEdgeMessages != 1 {
+		t.Fatalf("congestion=%d, want 1", res.Metrics.MaxEdgeMessages)
+	}
+	if res.Metrics.Rounds != 6 {
+		t.Fatalf("rounds=%d, want 6", res.Metrics.Rounds)
+	}
+}
+
+func TestSleepingLosesMessages(t *testing.T) {
+	g := graph.Path(2, graph.UnitWeights)
+	e := New(g, Config{Model: Sleeping})
+	res, err := e.Run(func(c *Ctx) {
+		switch c.ID() {
+		case 0:
+			c.Next()           // round 0 -> 1
+			c.Send(0, "lost")  // sent in round 1; node 1 sleeps in round 1
+			c.Next()           // round 1 -> 2
+			c.Send(0, "heard") // sent in round 2; node 1 wakes at 2
+			c.Next()
+		case 1:
+			msgs := c.SleepUntil(2) // awake rounds: 0 and 2
+			if len(msgs) != 0 {
+				t.Errorf("unexpected early messages: %v", msgs)
+			}
+			msgs = c.Next() // receives what arrived in round 2
+			got := make([]string, 0, len(msgs))
+			for _, m := range msgs {
+				got = append(got, m.Msg.(string))
+			}
+			c.SetOutput(strings.Join(got, ","))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[1].(string) != "heard" {
+		t.Fatalf("node 1 got %q, want \"heard\"", res.Outputs[1])
+	}
+	if res.Metrics.LostMessages != 1 {
+		t.Fatalf("lost=%d, want 1", res.Metrics.LostMessages)
+	}
+	// Node 1 awake rounds: 0, 2, 3 = 3; node 0 awake 0,1,2,3 = 4.
+	if res.Metrics.PerNodeAwake[1] != 3 {
+		t.Fatalf("node 1 awake %d, want 3", res.Metrics.PerNodeAwake[1])
+	}
+	if res.Metrics.MaxAwake != 4 {
+		t.Fatalf("max awake %d, want 4", res.Metrics.MaxAwake)
+	}
+}
+
+func TestCongestNeverLoses(t *testing.T) {
+	g := graph.Path(2, graph.UnitWeights)
+	e := New(g, Config{Model: Congest})
+	res, err := e.Run(func(c *Ctx) {
+		switch c.ID() {
+		case 0:
+			c.Next()
+			c.Send(0, 42)
+			c.Next()
+		case 1:
+			msgs := c.SleepUntil(5) // logically always awake in CONGEST
+			if len(msgs) != 1 || msgs[0].Msg.(int) != 42 {
+				t.Errorf("want the message despite sleeping: %v", msgs)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.LostMessages != 0 {
+		t.Fatal("congest mode must not lose messages")
+	}
+}
+
+func TestRoundSkipping(t *testing.T) {
+	// Two nodes sleeping for a long time: the engine must jump, not iterate.
+	g := graph.Path(2, graph.UnitWeights)
+	e := New(g, Config{Model: Sleeping})
+	res, err := e.Run(func(c *Ctx) {
+		c.SleepUntil(1 << 30)
+		c.SetOutput(c.Round())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0].(int64) != 1<<30 {
+		t.Fatalf("woke at %v", res.Outputs[0])
+	}
+	if res.Metrics.MaxAwake != 2 {
+		t.Fatalf("awake=%d, want 2", res.Metrics.MaxAwake)
+	}
+}
+
+func TestWaitMessageDeadline(t *testing.T) {
+	g := graph.Path(2, graph.UnitWeights)
+	e := New(g, Config{Model: Congest})
+	res, err := e.Run(func(c *Ctx) {
+		if c.ID() == 1 {
+			msgs := c.WaitMessage(50)
+			c.SetOutput([]any{c.Round(), len(msgs)})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Outputs[1].([]any)
+	if out[0].(int64) != 50 || out[1].(int) != 0 {
+		t.Fatalf("got %v, want round 50 with 0 msgs", out)
+	}
+}
+
+func TestWaitMessageWokenByArrival(t *testing.T) {
+	g := graph.Path(2, graph.UnitWeights)
+	e := New(g, Config{Model: Congest})
+	res, err := e.Run(func(c *Ctx) {
+		switch c.ID() {
+		case 0:
+			c.SleepUntil(7)
+			c.Send(0, "ping") // sent in round 7
+			c.Next()
+		case 1:
+			msgs := c.WaitMessage(1000)
+			c.SetOutput([]any{c.Round(), msgs[0].Msg.(string)})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Outputs[1].([]any)
+	if out[0].(int64) != 8 || out[1].(string) != "ping" {
+		t.Fatalf("got %v, want [8 ping]", out)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	g := graph.Path(2, graph.UnitWeights)
+	e := New(g, Config{Model: Congest})
+	_, err := e.Run(func(c *Ctx) {
+		if c.ID() == 0 {
+			return // halts
+		}
+		c.WaitMessage(-1) // never satisfied
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock error, got %v", err)
+	}
+}
+
+func TestNodePanicPropagates(t *testing.T) {
+	g := graph.Path(3, graph.UnitWeights)
+	e := New(g, Config{Model: Congest})
+	_, err := e.Run(func(c *Ctx) {
+		if c.ID() == 1 {
+			panic("boom")
+		}
+		c.SleepUntil(100)
+	})
+	if err == nil || !strings.Contains(err.Error(), "node 1 panicked: boom") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestMaxRoundsEnforced(t *testing.T) {
+	g := graph.Path(2, graph.UnitWeights)
+	e := New(g, Config{Model: Sleeping, MaxRounds: 10})
+	_, err := e.Run(func(c *Ctx) {
+		c.SleepUntil(100)
+	})
+	if err == nil || !strings.Contains(err.Error(), "MaxRounds") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestStrictCongestViolation(t *testing.T) {
+	g := graph.Path(2, graph.UnitWeights)
+	e := New(g, Config{Model: Congest, StrictCongest: true})
+	_, err := e.Run(func(c *Ctx) {
+		if c.ID() == 0 {
+			c.Send(0, 1)
+			c.Send(0, 2) // two messages, same edge, same direction, same round
+		}
+		c.Next()
+	})
+	if err == nil || !strings.Contains(err.Error(), "CONGEST violation") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestMegaroundAccounting(t *testing.T) {
+	g := graph.Path(2, graph.UnitWeights)
+	e := New(g, Config{Model: Congest})
+	res, err := e.Run(func(c *Ctx) {
+		if c.ID() == 0 {
+			for k := 0; k < 5; k++ {
+				c.Send(0, k)
+			}
+		}
+		c.Next()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 rounds total; round 0 carried load 5 => strict = 2 + (5-1) = 6.
+	if res.Metrics.Rounds != 2 || res.Metrics.StrictRounds != 6 {
+		t.Fatalf("rounds=%d strict=%d, want 2,6", res.Metrics.Rounds, res.Metrics.StrictRounds)
+	}
+}
+
+func TestNeighborIndexAndReverse(t *testing.T) {
+	g := graph.Star(4, graph.UnitWeights)
+	e := New(g, Config{Model: Congest})
+	res, err := e.Run(func(c *Ctx) {
+		if c.ID() == 2 {
+			c.SendID(0, "hi")
+		}
+		msgs := c.Next()
+		for _, m := range msgs {
+			// The center's NbIndex must point back at node 2.
+			c.SetOutput(c.NeighborID(m.NbIndex))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0].(graph.NodeID) != 2 {
+		t.Fatalf("reverse index broken: %v", res.Outputs[0])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := graph.RandomConnected(40, 60, graph.UnitWeights, 5)
+	run := func() []any {
+		e := New(g, Config{Model: Congest})
+		res, err := e.Run(func(c *Ctx) {
+			// Everyone floods its ID for 3 rounds; output = sorted digest of
+			// all received (from, round) pairs via a running hash.
+			var h uint64 = 1469598103934665603
+			mix := func(x uint64) { h ^= x; h *= 1099511628211 }
+			for r := 0; r < 3; r++ {
+				for i := 0; i < c.Degree(); i++ {
+					c.Send(i, uint64(c.ID())<<32|uint64(r))
+				}
+				for _, m := range c.Next() {
+					mix(m.Msg.(uint64))
+					mix(uint64(m.From))
+				}
+			}
+			c.SetOutput(h)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Outputs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d nondeterministic: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	g := graph.Path(3, graph.UnitWeights)
+	e := New(g, Config{Model: Congest, RecordTrace: true})
+	res, err := e.Run(func(c *Ctx) {
+		if c.ID() == 1 {
+			c.Send(0, "a") // to node 0 over edge 0: dir=1 (1>0)
+			c.Send(1, "b") // to node 2 over edge 1: dir=0
+		}
+		c.Next()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 2 {
+		t.Fatalf("trace len %d", len(res.Trace))
+	}
+	if res.Trace[0].Dir != 1 || res.Trace[1].Dir != 0 {
+		t.Fatalf("trace dirs: %+v", res.Trace)
+	}
+}
+
+func TestDroppedAfterHalt(t *testing.T) {
+	g := graph.Path(2, graph.UnitWeights)
+	e := New(g, Config{Model: Congest})
+	res, err := e.Run(func(c *Ctx) {
+		if c.ID() == 1 {
+			return // halts immediately in round 0
+		}
+		c.Next()
+		c.Send(0, "too late") // round 1
+		c.Next()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.DroppedAfterHalt != 1 {
+		t.Fatalf("droppedAfterHalt=%d", res.Metrics.DroppedAfterHalt)
+	}
+}
+
+func TestSleepUntilPastPanics(t *testing.T) {
+	g := graph.Path(2, graph.UnitWeights)
+	e := New(g, Config{Model: Congest})
+	_, err := e.Run(func(c *Ctx) {
+		c.SleepUntil(0) // current round is 0: must panic
+	})
+	if err == nil || !strings.Contains(err.Error(), "SleepUntil") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSleepUntilAtLeastClamps(t *testing.T) {
+	g := graph.Path(1, graph.UnitWeights)
+	e := New(g, Config{Model: Sleeping})
+	res, err := e.Run(func(c *Ctx) {
+		c.SleepUntilAtLeast(0)
+		c.SetOutput(c.Round())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0].(int64) != 1 {
+		t.Fatalf("round %v, want 1", res.Outputs[0])
+	}
+}
+
+func TestWaitMessageInSleepingPanics(t *testing.T) {
+	g := graph.Path(2, graph.UnitWeights)
+	e := New(g, Config{Model: Sleeping})
+	_, err := e.Run(func(c *Ctx) {
+		c.WaitMessage(10)
+	})
+	if err == nil || !strings.Contains(err.Error(), "only valid in Congest") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestManyNodesStress(t *testing.T) {
+	// A quick scale smoke test: flood on a 2000-node random graph.
+	g := graph.RandomConnected(2000, 3000, graph.UnitWeights, 9)
+	e := New(g, Config{Model: Congest})
+	ref := graph.BFSDist(g, 0)
+	res, err := e.Run(func(c *Ctx) {
+		dist := int64(-1)
+		deadline := int64(c.N() + 10)
+		if c.ID() == 0 {
+			dist = 0
+			for i := 0; i < c.Degree(); i++ {
+				c.Send(i, int64(1))
+			}
+		}
+		for dist == -1 {
+			msgs := c.WaitMessage(deadline)
+			for _, m := range msgs {
+				if dist == -1 {
+					dist = m.Msg.(int64)
+					for i := 0; i < c.Degree(); i++ {
+						c.Send(i, dist+1)
+					}
+				}
+			}
+			if c.Round() >= deadline {
+				break
+			}
+		}
+		c.SetOutput(dist)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if int64(res.Outputs[v].(int64)) != ref[v] {
+			t.Fatalf("node %d: got %v want %d", v, res.Outputs[v], ref[v])
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package dsssp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsssp/internal/graph"
+)
+
+func TestSSSPTreeBasics(t *testing.T) {
+	g := graph.Grid2D(5, 5, graph.UniformWeights(7, 3))
+	res, err := SSSPTree(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(g, map[NodeID]int64{0: 0}); err != nil {
+		t.Fatal(err)
+	}
+	want := graph.Dijkstra(g, 0)
+	for v := range want {
+		if res.Dist[v] != want[v] {
+			t.Fatalf("dist[%d]=%d, want %d", v, res.Dist[v], want[v])
+		}
+	}
+	// The path from the far corner must start there, end at the source,
+	// and telescope the distance.
+	p := res.PathTo(24)
+	if p[0] != 24 || p[len(p)-1] != 0 {
+		t.Fatalf("path endpoints %v", p)
+	}
+	var total int64
+	for i := 0; i+1 < len(p); i++ {
+		found := false
+		for _, h := range g.Adj(p[i]) {
+			if h.To == p[i+1] {
+				total += h.W
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("path hop %d-%d not an edge", p[i], p[i+1])
+		}
+	}
+	if total != res.Dist[24] {
+		t.Fatalf("path weight %d != dist %d", total, res.Dist[24])
+	}
+}
+
+func TestCSSPTreeMultiSource(t *testing.T) {
+	g := graph.Clusters(3, 6, 4, graph.UniformWeights(5, 5), 5)
+	sources := map[NodeID]int64{0: 0, 10: 2}
+	res, err := CSSPTree(g, sources, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(g, sources); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeUnreachable(t *testing.T) {
+	g := graph.Disconnected(2, 5, 1, graph.UnitWeights, 2)
+	res, err := SSSPTree(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 5; v < 10; v++ {
+		if res.Parent[v] != -1 {
+			t.Fatalf("unreachable node %d has parent %d", v, res.Parent[v])
+		}
+		if res.PathTo(NodeID(v)) != nil {
+			t.Fatalf("unreachable node %d has a path", v)
+		}
+	}
+}
+
+func TestTreeProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%20) + 3
+		g := graph.RandomConnected(n, n/2, graph.UniformWeights(6, seed), seed)
+		res, err := SSSPTree(g, 0, nil)
+		if err != nil {
+			return false
+		}
+		return res.Verify(g, map[NodeID]int64{0: 0}) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
