@@ -1,7 +1,8 @@
-// Benchmarks regenerating the experiments E1–E9 (one per quantitative claim
-// of the paper; see DESIGN.md section 4 and EXPERIMENTS.md for recorded
-// results). cmd/dsssp-bench prints the full tables; these testing.B targets
-// give repeatable single numbers per experiment.
+// Benchmarks covering the paper's quantitative claims, one per experiment
+// E1–E9. The scenario harness (internal/harness, driven by cmd/dsssp-bench)
+// sweeps the same quantities across the full workload registry and records
+// them in EXPERIMENTS.md; these testing.B targets give repeatable single
+// numbers per claim for quick comparisons.
 package dsssp
 
 import (

@@ -31,6 +31,7 @@ package dsssp
 
 import (
 	"fmt"
+	"runtime"
 
 	"dsssp/internal/baseline"
 	"dsssp/internal/core"
@@ -50,6 +51,17 @@ const (
 	// ModelSleeping is the sleeping/energy model (Section 3).
 	ModelSleeping
 )
+
+func (m Model) String() string {
+	switch m {
+	case ModelCongest:
+		return "congest"
+	case ModelSleeping:
+		return "sleeping"
+	default:
+		return fmt.Sprintf("model(%d)", int(m))
+	}
+}
 
 // Inf marks an unreachable node (or one beyond a threshold).
 const Inf = graph.Inf
@@ -75,9 +87,17 @@ type Options struct {
 	EpsNum, EpsDen int64
 	// MaxRounds caps the simulation (0 = a generous default).
 	MaxRounds int64
+	// Workers bounds the worker pool used by APSP's per-source instances
+	// (0 = runtime.NumCPU(); 1 = sequential). SSSP/CSSP/BFS ignore it —
+	// a single simulation is internally concurrent already.
+	Workers int
 }
 
-func (o *Options) resolved() (Model, core.Options) {
+// resolved validates the options once and normalizes the zero value: a nil
+// Options or a zero Model means ModelCongest; any other unknown Model is
+// rejected here with a descriptive error, so SSSP/CSSP/BFS all fail
+// consistently instead of each reporting its own opaque variant.
+func (o *Options) resolved() (Model, core.Options, error) {
 	m := ModelCongest
 	copt := core.Options{}
 	if o != nil {
@@ -86,7 +106,21 @@ func (o *Options) resolved() (Model, core.Options) {
 		}
 		copt = core.Options{EpsNum: o.EpsNum, EpsDen: o.EpsDen, MaxRounds: o.MaxRounds}
 	}
-	return m, copt
+	switch m {
+	case ModelCongest, ModelSleeping:
+		return m, copt, nil
+	default:
+		return 0, core.Options{}, fmt.Errorf(
+			"dsssp: invalid Options.Model %d: use ModelCongest (%d), ModelSleeping (%d), or leave it zero for the CONGEST default",
+			int(m), int(ModelCongest), int(ModelSleeping))
+	}
+}
+
+func (o *Options) workers() int {
+	if o == nil || o.Workers == 0 {
+		return runtime.NumCPU()
+	}
+	return o.Workers
 }
 
 // Result is the outcome of a distance computation.
@@ -109,20 +143,19 @@ func SSSP(g *Graph, source NodeID, opts *Options) (*Result, error) {
 // CSSP computes exact closest-source distances dist(S,v) = min over sources
 // s of offset(s)+dist(s,v) (Definition 2.3 with offsets).
 func CSSP(g *Graph, sources map[NodeID]int64, opts *Options) (*Result, error) {
-	m, copt := opts.resolved()
+	m, copt, err := opts.resolved()
+	if err != nil {
+		return nil, err
+	}
 	var (
 		d   []int64
 		st  core.Stats
 		met simnet.Metrics
-		err error
 	)
-	switch m {
-	case ModelCongest:
+	if m == ModelCongest {
 		d, st, met, err = core.RunCSSP(g, sources, copt)
-	case ModelSleeping:
+	} else {
 		d, st, met, err = core.RunEnergyCSSP(g, sources, copt)
-	default:
-		return nil, fmt.Errorf("dsssp: unknown model %d", m)
 	}
 	if err != nil {
 		return nil, err
@@ -140,9 +173,11 @@ func CSSP(g *Graph, sources map[NodeID]int64, opts *Options) (*Result, error) {
 // ModelSleeping it uses the cover-driven low-energy BFS (Theorem 3.13/3.14);
 // in ModelCongest the plain distributed BFS.
 func BFS(g *Graph, sources map[NodeID]bool, threshold int64, opts *Options) (*Result, error) {
-	m, _ := opts.resolved()
-	switch m {
-	case ModelSleeping:
+	m, _, err := opts.resolved()
+	if err != nil {
+		return nil, err
+	}
+	if m == ModelSleeping {
 		src := make(map[NodeID]int64, len(sources))
 		for s := range sources {
 			src[s] = 0
@@ -152,19 +187,16 @@ func BFS(g *Graph, sources map[NodeID]bool, threshold int64, opts *Options) (*Re
 			return nil, err
 		}
 		return &Result{Dist: d, Metrics: met}, nil
-	case ModelCongest:
-		src := make(map[NodeID]bool, len(sources))
-		for s := range sources {
-			src[s] = true
-		}
-		d, met, err := baseline.AlwaysAwakeBFS(g, src, threshold)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Dist: d, Metrics: met}, nil
-	default:
-		return nil, fmt.Errorf("dsssp: unknown model %d", m)
 	}
+	src := make(map[NodeID]bool, len(sources))
+	for s := range sources {
+		src[s] = true
+	}
+	d, met, err := baseline.AlwaysAwakeBFS(g, src, threshold)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Dist: d, Metrics: met}, nil
 }
 
 // APSPResult reports the scheduling composition of n SSSP instances
@@ -181,8 +213,15 @@ type APSPResult struct {
 // source, recording each instance's edge usage, and composing the traces
 // under random-delay scheduling (seeded). The per-instance polylog
 // congestion is what makes the random-delay makespan Õ(n).
+//
+// The per-source instances are independent simulations and are fanned out
+// over Options.Workers goroutines (default runtime.NumCPU()); traces are
+// composed in source order, so the result is identical to a sequential run.
 func APSP(g *Graph, opts *Options, seed int64) (*APSPResult, error) {
-	_, copt := opts.resolved()
+	_, copt, err := opts.resolved()
+	if err != nil {
+		return nil, err
+	}
 	out := &APSPResult{Dist: make([][]int64, g.N())}
 	runner := func(g *Graph, s NodeID) (sched.Trace, error) {
 		d, _, met, tr, err := core.RunCSSPTraced(g, map[NodeID]int64{s: 0}, copt)
@@ -192,7 +231,7 @@ func APSP(g *Graph, opts *Options, seed int64) (*APSPResult, error) {
 		out.Dist[s] = d
 		return sched.Trace{Entries: tr, Rounds: met.Rounds}, nil
 	}
-	comp, err := sched.APSP(g, nil, runner, seed)
+	comp, err := sched.APSPParallel(g, nil, runner, seed, opts.workers())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,3 @@
+module dsssp
+
+go 1.24

@@ -231,6 +231,112 @@ func Clusters(c, k, intraExtra int, w WeightFn, seed int64) *Graph {
 	return g
 }
 
+// Expander returns a 2d-regular-ish expander on n nodes: the union of d
+// seeded random Hamiltonian cycles (duplicate edges are skipped, so degrees
+// may fall slightly below 2d). A union of random cycles is an expander with
+// high probability, giving the low-diameter, well-connected regime where the
+// paper's polylog congestion bounds are easiest to see.
+func Expander(n, d int, w WeightFn, seed int64) *Graph {
+	if n < 3 || d < 1 {
+		panic("graph: Expander needs n >= 3, d >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	i := 0
+	for c := 0; c < d; c++ {
+		perm := rng.Perm(n)
+		for j := 0; j < n; j++ {
+			a, b := NodeID(perm[j]), NodeID(perm[(j+1)%n])
+			if a == b || g.HasEdge(a, b) {
+				continue
+			}
+			g.AddEdge(a, b, w(i))
+			i++
+		}
+	}
+	g.SortAdj()
+	return g
+}
+
+// Barbell returns the classic barbell on ~n nodes: two cliques of size n/3
+// joined by a path of the remaining nodes. It maximizes the bottleneck-edge
+// congestion of any all-pairs workload and is a standard worst case for
+// random-delay scheduling.
+func Barbell(n int, w WeightFn) *Graph {
+	k := n / 3
+	if k < 2 {
+		k = 2
+	}
+	bridge := n - 2*k + 1
+	if bridge < 1 {
+		bridge = 1
+	}
+	return Dumbbell(k, bridge, w)
+}
+
+// PowerLaw returns a Barabási–Albert preferential-attachment graph: nodes
+// arrive one at a time and attach `m` edges to existing nodes chosen with
+// probability proportional to degree (by sampling a uniform endpoint of a
+// uniform existing edge). Heavy-tailed degrees stress the per-edge congestion
+// accounting around hubs.
+func PowerLaw(n, m int, w WeightFn, seed int64) *Graph {
+	if n < 2 || m < 1 {
+		panic("graph: PowerLaw needs n >= 2, m >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	i := 0
+	// Endpoint multiset: each edge contributes both endpoints, so a uniform
+	// draw lands on v with probability deg(v)/2m.
+	var ends []NodeID
+	g.AddEdge(0, 1, w(i))
+	i++
+	ends = append(ends, 0, 1)
+	for v := 2; v < n; v++ {
+		added := 0
+		for attempt := 0; added < m && attempt < 4*m+16; attempt++ {
+			t := ends[rng.Intn(len(ends))]
+			if t == NodeID(v) || g.HasEdge(NodeID(v), t) {
+				continue
+			}
+			g.AddEdge(NodeID(v), t, w(i))
+			i++
+			ends = append(ends, NodeID(v), t)
+			added++
+		}
+		if added == 0 { // keep it connected no matter what
+			t := NodeID(rng.Intn(v))
+			g.AddEdge(NodeID(v), t, w(i))
+			i++
+			ends = append(ends, NodeID(v), t)
+		}
+	}
+	g.SortAdj()
+	return g
+}
+
+// BellmanFordGadget is the classic Bellman-Ford worst case: a unit-weight
+// path of k+1 nodes plus a sink adjacent to every path node with weights
+// that improve at every hop of the wave, forcing Θ(k) re-broadcasts per
+// sink edge. Weights are structural (the WeightFn convention does not
+// apply): path edges are 1, the chord from path node i to the sink is
+// 2(k-i)+1. Total nodes: k+2.
+func BellmanFordGadget(k int) *Graph {
+	if k < 1 {
+		panic("graph: BellmanFordGadget needs k >= 1")
+	}
+	g := New(k + 2)
+	for i := 0; i < k; i++ {
+		g.AddEdge(NodeID(i), NodeID(i+1), 1)
+	}
+	sink := NodeID(k + 1)
+	for i := 0; i <= k; i++ {
+		g.AddEdge(NodeID(i), sink, int64(2*(k-i)+1))
+	}
+	g.SortAdj()
+	return g
+}
+
 // Disconnected returns a graph made of `parts` independent random connected
 // components of size n each; used to test multi-component behavior.
 func Disconnected(parts, n, extra int, w WeightFn, seed int64) *Graph {
@@ -262,13 +368,29 @@ type Family string
 
 // Families used throughout the experiment harness.
 const (
-	FamilyPath    Family = "path"
-	FamilyCycle   Family = "cycle"
-	FamilyTree    Family = "tree"
-	FamilyGrid    Family = "grid"
-	FamilyRandom  Family = "random"
-	FamilyCluster Family = "cluster"
+	FamilyPath     Family = "path"
+	FamilyCycle    Family = "cycle"
+	FamilyTree     Family = "tree"
+	FamilyGrid     Family = "grid"
+	FamilyRandom   Family = "random"
+	FamilyCluster  Family = "cluster"
+	FamilyStar     Family = "star"
+	FamilyExpander Family = "expander"
+	FamilyBarbell  Family = "barbell"
+	FamilyPowerLaw Family = "powerlaw"
+	// FamilyBFGadget is the Bellman-Ford congestion worst case; its weights
+	// are structural, so the WeightFn passed to Make is ignored.
+	FamilyBFGadget Family = "bfgadget"
 )
+
+// Families lists every named family, in the order the harness sweeps them.
+func Families() []Family {
+	return []Family{
+		FamilyPath, FamilyCycle, FamilyTree, FamilyGrid, FamilyRandom,
+		FamilyCluster, FamilyStar, FamilyExpander, FamilyBarbell,
+		FamilyPowerLaw, FamilyBFGadget,
+	}
+}
 
 // Make builds a graph of the named family with n nodes (approximately, for
 // grid/cluster) and the given weight function and seed.
@@ -295,6 +417,16 @@ func Make(f Family, n int, w WeightFn, seed int64) *Graph {
 			c = 2
 		}
 		return Clusters(c, k, k, w, seed)
+	case FamilyStar:
+		return Star(n, w)
+	case FamilyExpander:
+		return Expander(n, 2, w, seed)
+	case FamilyBarbell:
+		return Barbell(n, w)
+	case FamilyPowerLaw:
+		return PowerLaw(n, 2, w, seed)
+	case FamilyBFGadget:
+		return BellmanFordGadget(n - 2)
 	default:
 		panic(fmt.Sprintf("graph: unknown family %q", f))
 	}

@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"testing"
+)
+
+// TestGeneratorDeterminism: same seed ⇒ identical graph (edge set, edge
+// order, and weights) for every named family, including the expander,
+// barbell, and power-law additions. The simulator's determinism — and hence
+// the harness's byte-identical reports — rests on this.
+func TestGeneratorDeterminism(t *testing.T) {
+	for _, fam := range Families() {
+		for _, n := range []int{16, 47, 100} {
+			a := Make(fam, n, UniformWeights(int64(n), 99), 5)
+			b := Make(fam, n, UniformWeights(int64(n), 99), 5)
+			if a.N() != b.N() || a.M() != b.M() {
+				t.Fatalf("%s/n=%d: size mismatch: (%d,%d) vs (%d,%d)",
+					fam, n, a.N(), a.M(), b.N(), b.M())
+			}
+			ea, eb := a.Edges(), b.Edges()
+			for i := range ea {
+				if ea[i] != eb[i] {
+					t.Fatalf("%s/n=%d: edge %d differs: %+v vs %+v", fam, n, i, ea[i], eb[i])
+				}
+			}
+			if err := a.Validate(); err != nil {
+				t.Fatalf("%s/n=%d: invalid graph: %v", fam, n, err)
+			}
+		}
+	}
+}
+
+// TestGeneratorSeedSensitivity: seeded families must actually use the seed —
+// different seeds should give different graphs (structure or weights).
+func TestGeneratorSeedSensitivity(t *testing.T) {
+	for _, fam := range []Family{FamilyRandom, FamilyCluster, FamilyExpander, FamilyPowerLaw} {
+		n := 64
+		a := Make(fam, n, UniformWeights(int64(n), 99), 5)
+		b := Make(fam, n, UniformWeights(int64(n), 99), 6)
+		same := a.N() == b.N() && a.M() == b.M()
+		if same {
+			ea, eb := a.Edges(), b.Edges()
+			for i := range ea {
+				if ea[i] != eb[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Errorf("%s: seeds 5 and 6 produced identical graphs", fam)
+		}
+	}
+}
+
+// TestNewFamiliesConnected: the harness verifies distances against
+// sequential references assuming one component; the new families must
+// deliver that at every size the suite uses.
+func TestNewFamiliesConnected(t *testing.T) {
+	for _, fam := range []Family{FamilyStar, FamilyExpander, FamilyBarbell, FamilyPowerLaw} {
+		for _, n := range []int{16, 64, 256} {
+			g := Make(fam, n, UnitWeights, 3)
+			if _, k := Components(g); k != 1 {
+				t.Errorf("%s/n=%d: %d components, want 1", fam, n, k)
+			}
+		}
+	}
+}
+
+// TestPowerLawHasHubs: preferential attachment should produce a max degree
+// well above the average (heavy tail), which is the point of the family.
+func TestPowerLawHasHubs(t *testing.T) {
+	g := PowerLaw(512, 2, UnitWeights, 7)
+	maxDeg := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(NodeID(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := 2 * g.M() / g.N()
+	if maxDeg < 4*avg {
+		t.Errorf("max degree %d not hub-like (avg %d)", maxDeg, avg)
+	}
+}
+
+// TestExpanderLowDiameter: the expander family should have O(log n) hop
+// diameter — that is the property the scenarios lean on.
+func TestExpanderLowDiameter(t *testing.T) {
+	g := Expander(512, 2, UnitWeights, 7)
+	if d := HopDiameter(g); d > 20 {
+		t.Errorf("hop diameter %d, want O(log n) (~<=20 for n=512)", d)
+	}
+}

@@ -1,0 +1,324 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"dsssp/internal/baseline"
+	"dsssp/internal/core"
+	"dsssp/internal/energybfs"
+	"dsssp/internal/graph"
+	"dsssp/internal/sched"
+	"dsssp/internal/simnet"
+)
+
+// Result is the machine-readable outcome of one scenario run. Every field
+// is a pure function of the Scenario — wall-clock time is deliberately kept
+// out so that reports from parallel and sequential sweeps (and from
+// different machines) are byte-identical and diffable across PRs.
+type Result struct {
+	Scenario    string `json:"scenario"`
+	Description string `json:"description,omitempty"`
+	Family      string `json:"family"`
+	Model       string `json:"model"`
+	Alg         string `json:"alg"`
+	N           int    `json:"n"`
+	M           int    `json:"m"`
+
+	// Simulator metrics (per instance; for APSP, of the heaviest instance).
+	Rounds          int64 `json:"rounds"`
+	StrictRounds    int64 `json:"strict_rounds,omitempty"`
+	Messages        int64 `json:"messages"`
+	MaxEdgeMessages int64 `json:"max_edge_messages"`
+	MaxAwake        int64 `json:"max_awake,omitempty"`
+	TotalAwake      int64 `json:"total_awake,omitempty"`
+	SubproblemsMax  int   `json:"subproblems_max,omitempty"`
+
+	// APSP composition metrics (Section 1.1), zero elsewhere.
+	Dilation           int64 `json:"dilation,omitempty"`
+	Congestion         int64 `json:"congestion,omitempty"`
+	MakespanAligned    int64 `json:"makespan_aligned,omitempty"`
+	MakespanRandom     int64 `json:"makespan_random,omitempty"`
+	MakespanSequential int64 `json:"makespan_sequential,omitempty"`
+
+	// Envelope is the paper's predicted bound for this scenario; compare
+	// the measured columns against it across PRs.
+	Envelope Envelope `json:"envelope"`
+
+	// DistHash is an FNV-64a digest of the exact distance vector(s); OK
+	// reports agreement with the sequential Dijkstra/BFS reference.
+	DistHash string `json:"dist_hash"`
+	OK       bool   `json:"ok"`
+	Err      string `json:"err,omitempty"`
+}
+
+// RunOptions tunes a sweep.
+type RunOptions struct {
+	// Parallel is the worker-pool size (0 = runtime.NumCPU(), 1 = run
+	// sequentially in the calling goroutine's pool of one).
+	Parallel int
+	// Progress, if non-nil, is called after each scenario completes with
+	// (completed count, total, that scenario's result). Calls are
+	// serialized but arrive in completion order, not input order.
+	Progress func(done, total int, r Result)
+}
+
+// Run executes the scenarios over a worker pool and returns results in
+// input order. Independent simnet engines share nothing, so the sweep
+// scales near-linearly with the pool; per-scenario seeds are derived from
+// the scenario itself, so results are identical for any Parallel value.
+// Cancelling the context stops dispatching new scenarios (running ones
+// finish); the partial results and ctx.Err() are returned.
+func Run(ctx context.Context, scenarios []Scenario, opt RunOptions) ([]Result, error) {
+	workers := opt.Parallel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]Result, len(scenarios))
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		done int
+	)
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					results[i] = skipped(scenarios[i], ctx.Err())
+				} else {
+					results[i] = Execute(scenarios[i])
+				}
+				mu.Lock()
+				done++
+				if opt.Progress != nil {
+					opt.Progress(done, len(scenarios), results[i])
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range scenarios {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, ctx.Err()
+}
+
+func skipped(s Scenario, err error) Result {
+	return Result{
+		Scenario: s.Name, Description: s.Description,
+		Family: string(s.Family), Model: string(s.Model), Alg: string(s.Alg),
+		N: s.N, Err: fmt.Sprintf("skipped: %v", err),
+	}
+}
+
+// Execute runs a single scenario to completion and never panics: invalid
+// scenarios are rejected by Validate, and generator or simulator panics are
+// converted into the Err field, so one bad workload cannot take down a
+// sweep.
+func Execute(s Scenario) Result {
+	if err := s.Validate(); err != nil {
+		r := resultHeader(s)
+		r.Err = err.Error()
+		return r
+	}
+	return executeUnvalidated(s)
+}
+
+func resultHeader(s Scenario) Result {
+	return Result{
+		Scenario: s.Name, Description: s.Description,
+		Family: string(s.Family), Model: string(s.Model), Alg: string(s.Alg),
+		N: s.N, Envelope: s.PredictedEnvelope(),
+	}
+}
+
+func executeUnvalidated(s Scenario) (r Result) {
+	r = resultHeader(s)
+	defer func() {
+		if p := recover(); p != nil {
+			r.Err = fmt.Sprintf("panic: %v", p)
+			r.OK = false
+		}
+	}()
+	g := s.BuildGraph()
+	r.N, r.M = g.N(), g.M()
+	copt := core.Options{EpsNum: s.EpsNum, EpsDen: s.EpsDen}
+
+	switch s.Alg {
+	case AlgSSSP, AlgCSSP:
+		sources := map[graph.NodeID]int64{0: 0}
+		if s.Alg == AlgCSSP {
+			sources = s.SourceOffsets()
+		}
+		run := core.RunCSSP
+		if s.Model == ModelSleeping {
+			run = core.RunEnergyCSSP
+		}
+		d, st, met, err := run(g, sources, copt)
+		if err != nil {
+			r.Err = err.Error()
+			return r
+		}
+		fillMetrics(&r, met.Rounds, met.StrictRounds, met.Messages, met.MaxEdgeMessages, met.MaxAwake, met.TotalAwake)
+		r.SubproblemsMax = maxSub(st)
+		finish(&r, d, graph.MultiSourceDijkstra(g, sources))
+		return r
+
+	case AlgBFS:
+		// 2·approx+1 upper-bounds the true hop diameter (double-sweep is a
+		// 2-approximation), so every reachable node gets a finite distance.
+		threshold := 2*graph.HopDiameterApprox(g) + 1
+		run := func(g *graph.Graph, threshold int64) ([]int64, simnet.Metrics, error) {
+			return baseline.AlwaysAwakeBFS(g, map[graph.NodeID]bool{0: true}, threshold)
+		}
+		if s.Model == ModelSleeping {
+			run = func(g *graph.Graph, threshold int64) ([]int64, simnet.Metrics, error) {
+				return energybfs.RunBFS(g, map[graph.NodeID]int64{0: 0}, threshold)
+			}
+		}
+		d, met, err := run(g, threshold)
+		if err != nil {
+			r.Err = err.Error()
+			return r
+		}
+		fillMetrics(&r, met.Rounds, met.StrictRounds, met.Messages, met.MaxEdgeMessages, met.MaxAwake, met.TotalAwake)
+		finish(&r, d, graph.BFSDist(g, 0))
+		return r
+
+	case AlgBellmanFord:
+		d, met, err := baseline.BellmanFord(g, 0)
+		if err != nil {
+			r.Err = err.Error()
+			return r
+		}
+		fillMetrics(&r, met.Rounds, met.StrictRounds, met.Messages, met.MaxEdgeMessages, met.MaxAwake, met.TotalAwake)
+		finish(&r, d, graph.Dijkstra(g, 0))
+		return r
+
+	case AlgDijkstra:
+		d, met, err := baseline.Dijkstra(g, 0)
+		if err != nil {
+			r.Err = err.Error()
+			return r
+		}
+		fillMetrics(&r, met.Rounds, met.StrictRounds, met.Messages, met.MaxEdgeMessages, met.MaxAwake, met.TotalAwake)
+		finish(&r, d, graph.Dijkstra(g, 0))
+		return r
+
+	case AlgAPSP:
+		workers := s.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		dist := make([][]int64, g.N())
+		var (
+			mu       sync.Mutex
+			maxR     int64
+			maxEdge  int64
+			totalMsg int64
+		)
+		runner := func(g *graph.Graph, src graph.NodeID) (sched.Trace, error) {
+			d, _, met, tr, err := core.RunCSSPTraced(g, map[graph.NodeID]int64{src: 0}, copt)
+			if err != nil {
+				return sched.Trace{}, err
+			}
+			mu.Lock()
+			dist[src] = d
+			if met.Rounds > maxR {
+				maxR = met.Rounds
+			}
+			if met.MaxEdgeMessages > maxEdge {
+				maxEdge = met.MaxEdgeMessages
+			}
+			totalMsg += met.Messages
+			mu.Unlock()
+			return sched.Trace{Entries: tr, Rounds: met.Rounds}, nil
+		}
+		comp, err := sched.APSPParallel(g, nil, runner, s.Seed, workers)
+		if err != nil {
+			r.Err = err.Error()
+			return r
+		}
+		r.Rounds, r.MaxEdgeMessages, r.Messages = maxR, maxEdge, totalMsg
+		r.Dilation, r.Congestion = comp.Dilation, comp.Congestion
+		r.MakespanAligned, r.MakespanRandom = comp.MakespanAligned, comp.MakespanRandom
+		r.MakespanSequential = comp.MakespanSequential
+		h := fnv.New64a()
+		ok := true
+		for src := 0; src < g.N(); src++ {
+			want := graph.Dijkstra(g, graph.NodeID(src))
+			ok = ok && equalDists(dist[src], want)
+			hashInto(h, dist[src])
+		}
+		r.DistHash = fmt.Sprintf("%016x", h.Sum64())
+		r.OK = ok
+		if !ok {
+			r.Err = "distances disagree with the Dijkstra reference"
+		}
+		return r
+	}
+	r.Err = fmt.Sprintf("harness: unhandled algorithm %q", s.Alg)
+	return r
+}
+
+func fillMetrics(r *Result, rounds, strict, msgs, maxEdge, maxAwake, totalAwake int64) {
+	r.Rounds, r.StrictRounds, r.Messages = rounds, strict, msgs
+	r.MaxEdgeMessages, r.MaxAwake, r.TotalAwake = maxEdge, maxAwake, totalAwake
+}
+
+func maxSub(st core.Stats) int {
+	m := 0
+	for _, k := range st.Subproblems {
+		if k > m {
+			m = k
+		}
+	}
+	return m
+}
+
+// finish verifies got against the sequential reference and records the hash.
+func finish(r *Result, got, want []int64) {
+	h := fnv.New64a()
+	hashInto(h, got)
+	r.DistHash = fmt.Sprintf("%016x", h.Sum64())
+	r.OK = equalDists(got, want)
+	if !r.OK {
+		r.Err = "distances disagree with the sequential reference"
+	}
+}
+
+func equalDists(got, want []int64) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func hashInto(h interface{ Write([]byte) (int, error) }, dist []int64) {
+	var buf [8]byte
+	for _, d := range dist {
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(uint64(d) >> (8 * b))
+		}
+		h.Write(buf[:])
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"dsssp/internal/graph"
 	"dsssp/internal/simnet"
@@ -133,19 +134,65 @@ type SSSPRunner func(g *graph.Graph, source graph.NodeID) (Trace, error)
 // non-nil), composes the traces, and returns the composition together with
 // per-source distance agreement checking hooks left to the caller.
 func APSP(g *graph.Graph, sources []graph.NodeID, run SSSPRunner, seed int64) (Composition, error) {
+	return APSPParallel(g, sources, run, seed, 1)
+}
+
+// APSPParallel is APSP with the per-source instances fanned out over a pool
+// of `workers` goroutines (workers <= 1 means sequential). The instances are
+// independent simulations sharing nothing, so this is safe and near-linear;
+// traces are collected in source order and the random delays are seeded, so
+// the composition is byte-identical to a sequential run. The runner is
+// invoked concurrently and must only touch per-source state.
+func APSPParallel(g *graph.Graph, sources []graph.NodeID, run SSSPRunner, seed int64, workers int) (Composition, error) {
 	if sources == nil {
 		sources = make([]graph.NodeID, g.N())
 		for i := range sources {
 			sources[i] = graph.NodeID(i)
 		}
 	}
-	traces := make([]Trace, 0, len(sources))
-	for _, s := range sources {
-		tr, err := run(g, s)
-		if err != nil {
-			return Composition{}, fmt.Errorf("sched: SSSP from %d: %w", s, err)
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	traces := make([]Trace, len(sources))
+	if workers <= 1 {
+		for i, s := range sources {
+			tr, err := run(g, s)
+			if err != nil {
+				return Composition{}, fmt.Errorf("sched: SSSP from %d: %w", s, err)
+			}
+			traces[i] = tr
 		}
-		traces = append(traces, tr)
+		return Compose(g.M(), traces, seed), nil
+	}
+	idx := make(chan int)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range idx {
+				if errs[w] != nil {
+					continue // keep draining so the producer never blocks
+				}
+				tr, err := run(g, sources[i])
+				if err != nil {
+					errs[w] = fmt.Errorf("sched: SSSP from %d: %w", sources[i], err)
+					continue
+				}
+				traces[i] = tr
+			}
+		}(w)
+	}
+	for i := range sources {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Composition{}, err
+		}
 	}
 	return Compose(g.M(), traces, seed), nil
 }

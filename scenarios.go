@@ -1,0 +1,40 @@
+package dsssp
+
+import (
+	"context"
+
+	"dsssp/internal/harness"
+)
+
+// ScenarioResult is one scenario's machine-readable outcome; ScenarioReport
+// is a whole sweep. They alias the internal harness types so tests, the
+// dsssp-bench CLI, and future services all consume the same schema.
+type (
+	ScenarioResult = harness.Result
+	ScenarioReport = harness.Report
+)
+
+// ScenarioNames lists the default suite's scenario names (the values
+// accepted by RunScenarios patterns and dsssp-bench -scenarios).
+func ScenarioNames(quick bool) []string {
+	return harness.Default(quick).Names()
+}
+
+// RunScenarios sweeps the default scenario suite: patterns select scenarios
+// by exact name or glob, where '*' matches any run of characters including
+// '/' and '?' exactly one — "congest-sssp/*" selects every CONGEST SSSP
+// scenario (nil, empty, or "all" selects everything); quick shrinks sizes
+// to smoke-test scale, and parallel bounds
+// the worker pool (0 = runtime.NumCPU()). Results are deterministic — the
+// same arguments yield a byte-identical report at any parallelism — and
+// each scenario is verified against its sequential reference, so a report
+// with Failures == 0 is both a benchmark and a correctness check.
+func RunScenarios(ctx context.Context, patterns []string, quick bool, parallel int) (ScenarioReport, error) {
+	reg := harness.Default(quick)
+	scns, err := reg.Select(patterns)
+	if err != nil {
+		return ScenarioReport{}, err
+	}
+	results, err := harness.Run(ctx, scns, harness.RunOptions{Parallel: parallel})
+	return harness.BuildReport("default", quick, results), err
+}

@@ -1,0 +1,82 @@
+package dsssp
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestInvalidModelErrorConsistent: SSSP, CSSP, and BFS must reject an
+// invalid Options.Model with the same descriptive error (the zero value
+// still defaults to ModelCongest).
+func TestInvalidModelErrorConsistent(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.SortAdj()
+	bad := &Options{Model: Model(99)}
+	_, errS := SSSP(g, 0, bad)
+	_, errC := CSSP(g, map[NodeID]int64{0: 0}, bad)
+	_, errB := BFS(g, map[NodeID]bool{0: true}, 2, bad)
+	_, errA := APSP(g, bad, 1)
+	for name, err := range map[string]error{"SSSP": errS, "CSSP": errC, "BFS": errB, "APSP": errA} {
+		if err == nil {
+			t.Fatalf("%s accepted Model(99)", name)
+		}
+		if !strings.Contains(err.Error(), "invalid Options.Model 99") {
+			t.Errorf("%s error not descriptive: %v", name, err)
+		}
+	}
+	if errS.Error() != errC.Error() || errC.Error() != errB.Error() || errB.Error() != errA.Error() {
+		t.Errorf("errors differ:\n%v\n%v\n%v\n%v", errS, errC, errB, errA)
+	}
+	// The zero value still means CONGEST.
+	if _, err := SSSP(g, 0, &Options{}); err != nil {
+		t.Fatalf("zero-value Options rejected: %v", err)
+	}
+	if _, err := SSSP(g, 0, nil); err != nil {
+		t.Fatalf("nil Options rejected: %v", err)
+	}
+}
+
+// TestAPSPParallelDeterministic: APSP fans its per-source instances over a
+// worker pool; the result must be identical to a sequential run.
+func TestAPSPParallelDeterministic(t *testing.T) {
+	g := NewGraph(12)
+	for i := 0; i < 11; i++ {
+		g.AddEdge(NodeID(i), NodeID(i+1), int64(i%3+1))
+	}
+	g.AddEdge(0, 6, 2)
+	g.AddEdge(3, 11, 5)
+	g.SortAdj()
+	seq, err := APSP(g, &Options{Workers: 1}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := APSP(g, &Options{Workers: 8}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel APSP differs:\nseq %+v\npar %+v", seq, par)
+	}
+}
+
+// TestRunScenariosLibraryEntry: the library entry point drives the harness
+// end to end and verifies every scenario.
+func TestRunScenariosLibraryEntry(t *testing.T) {
+	rep, err := RunScenarios(context.Background(), []string{"congest-bellman-ford/*"}, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenarios == 0 || rep.Failures != 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	if names := ScenarioNames(true); len(names) == 0 {
+		t.Fatal("no scenario names")
+	}
+	if _, err := RunScenarios(context.Background(), []string{"typo*pattern"}, true, 1); err == nil {
+		t.Fatal("bogus pattern accepted")
+	}
+}
