@@ -28,7 +28,7 @@ func run() error {
 	var (
 		alg       = flag.String("alg", "sssp", "algorithm: sssp | bfs | apsp")
 		model     = flag.String("model", "congest", "model: congest | sleeping")
-		family    = flag.String("family", "random", "graph family: path|cycle|tree|grid|random|cluster")
+		family    = flag.String("family", "random", "graph family (path|cycle|tree|grid|random|cluster|star|expander|barbell|powerlaw|bfgadget|disconnected)")
 		n         = flag.Int("n", 128, "number of nodes")
 		maxw      = flag.Int64("maxw", 8, "max edge weight (1 = unweighted)")
 		seed      = flag.Int64("seed", 1, "generator / scheduling seed")

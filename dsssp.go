@@ -87,6 +87,11 @@ type Options struct {
 	EpsNum, EpsDen int64
 	// MaxRounds caps the simulation (0 = a generous default).
 	MaxRounds int64
+	// StrictCongest enforces the strict CONGEST bandwidth model on
+	// SSSP/CSSP/APSP runs (ModelCongest only): every message is sized and
+	// the run fails loudly if any exceeds the O(log n)-bit budget.
+	// Result.Metrics.MaxMessageBits then reports the largest message seen.
+	StrictCongest bool
 	// Workers bounds the worker pool used by APSP's per-source instances
 	// (0 = runtime.NumCPU(); 1 = sequential). SSSP/CSSP/BFS ignore it —
 	// a single simulation is internally concurrent already.
@@ -104,10 +109,14 @@ func (o *Options) resolved() (Model, core.Options, error) {
 		if o.Model != 0 {
 			m = o.Model
 		}
-		copt = core.Options{EpsNum: o.EpsNum, EpsDen: o.EpsDen, MaxRounds: o.MaxRounds}
+		copt = core.Options{EpsNum: o.EpsNum, EpsDen: o.EpsDen, MaxRounds: o.MaxRounds, StrictCongest: o.StrictCongest}
 	}
 	switch m {
 	case ModelCongest, ModelSleeping:
+		if copt.StrictCongest && m != ModelCongest {
+			return 0, core.Options{}, fmt.Errorf(
+				"dsssp: Options.StrictCongest applies to ModelCongest only (got %s)", m)
+		}
 		return m, copt, nil
 	default:
 		return 0, core.Options{}, fmt.Errorf(
@@ -173,9 +182,15 @@ func CSSP(g *Graph, sources map[NodeID]int64, opts *Options) (*Result, error) {
 // ModelSleeping it uses the cover-driven low-energy BFS (Theorem 3.13/3.14);
 // in ModelCongest the plain distributed BFS.
 func BFS(g *Graph, sources map[NodeID]bool, threshold int64, opts *Options) (*Result, error) {
-	m, _, err := opts.resolved()
+	m, copt, err := opts.resolved()
 	if err != nil {
 		return nil, err
+	}
+	if copt.StrictCongest {
+		// The CONGEST-side BFS baseline simulates in the sleeping engine
+		// (always awake) for the energy contrast, so the strict bandwidth
+		// budget does not attach to it.
+		return nil, fmt.Errorf("dsssp: Options.StrictCongest is supported for SSSP/CSSP/APSP, not BFS")
 	}
 	if m == ModelSleeping {
 		src := make(map[NodeID]int64, len(sources))
@@ -229,7 +244,7 @@ func APSP(g *Graph, opts *Options, seed int64) (*APSPResult, error) {
 			return sched.Trace{}, err
 		}
 		out.Dist[s] = d
-		return sched.Trace{Entries: tr, Rounds: met.Rounds}, nil
+		return sched.Trace{Entries: tr, Rounds: met.Rounds, MaxMessageBits: met.MaxMessageBits}, nil
 	}
 	comp, err := sched.APSPParallel(g, nil, runner, seed, opts.workers())
 	if err != nil {

@@ -45,6 +45,11 @@ type Options struct {
 	EpsNum, EpsDen int64
 	// MaxRounds overrides the engine's safety cap (0 = engine default).
 	MaxRounds int64
+	// StrictCongest enforces the strict CONGEST bandwidth model: every
+	// message is sized (proto.MessageBits) and the run fails loudly if any
+	// exceeds the O(log n)-bit budget (proto.BitBudget). Congest model
+	// only; metrics then report MaxMessageBits.
+	StrictCongest bool
 }
 
 func (o Options) eps() (int64, int64) {
@@ -299,7 +304,14 @@ func runCSSP(g *graph.Graph, sources map[graph.NodeID]int64, opts Options, trace
 	}
 	d0, levels := startThreshold(run, maxOff)
 
-	eng := simnet.New(run, simnet.Config{Model: simnet.Congest, MaxRounds: opts.MaxRounds, RecordTrace: trace})
+	cfg := simnet.Config{Model: simnet.Congest, MaxRounds: opts.MaxRounds, RecordTrace: trace}
+	if opts.StrictCongest {
+		// The budget covers distance-sized payloads up to n·maxW+maxOff on
+		// the (possibly zero-weight-rescaled) graph the engine actually runs.
+		cfg.MessageBits = proto.MessageBits
+		cfg.MaxMessageBits = proto.BitBudget(run.N(), run.MaxWeight()+maxOff)
+	}
+	eng := simnet.New(run, cfg)
 	res, err := eng.Run(func(c *simnet.Ctx) {
 		mb := proto.NewMailbox(c)
 		st := &cssp{mb: mb, epsNum: epsNum, epsDen: epsDen}

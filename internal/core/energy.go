@@ -321,6 +321,9 @@ func RunEnergyCSSP(g *graph.Graph, sources map[graph.NodeID]int64, opts Options)
 	if epsNum <= 0 || epsDen <= 0 || epsNum >= epsDen {
 		return nil, Stats{}, simnet.Metrics{}, fmt.Errorf("core: ε must be in (0,1), got %d/%d", epsNum, epsDen)
 	}
+	if opts.StrictCongest {
+		return nil, Stats{}, simnet.Metrics{}, fmt.Errorf("core: StrictCongest applies to the CONGEST model, not the sleeping model")
+	}
 	for s, o := range sources {
 		if o < 0 {
 			return nil, Stats{}, simnet.Metrics{}, fmt.Errorf("core: negative offset %d at source %d", o, s)

@@ -381,6 +381,10 @@ const (
 	// FamilyBFGadget is the Bellman-Ford congestion worst case; its weights
 	// are structural, so the WeightFn passed to Make is ignored.
 	FamilyBFGadget Family = "bfgadget"
+	// FamilyDisconnected is several independent random components;
+	// exercises the unreachable-vertex (+Inf distance) contract of every
+	// algorithm — sources never reach the other components.
+	FamilyDisconnected Family = "disconnected"
 )
 
 // Families lists every named family, in the order the harness sweeps them.
@@ -388,7 +392,7 @@ func Families() []Family {
 	return []Family{
 		FamilyPath, FamilyCycle, FamilyTree, FamilyGrid, FamilyRandom,
 		FamilyCluster, FamilyStar, FamilyExpander, FamilyBarbell,
-		FamilyPowerLaw, FamilyBFGadget,
+		FamilyPowerLaw, FamilyBFGadget, FamilyDisconnected,
 	}
 }
 
@@ -427,6 +431,13 @@ func Make(f Family, n int, w WeightFn, seed int64) *Graph {
 		return PowerLaw(n, 2, w, seed)
 	case FamilyBFGadget:
 		return BellmanFordGadget(n - 2)
+	case FamilyDisconnected:
+		parts := 3
+		if n < 3*4 {
+			parts = 2
+		}
+		size := n / parts
+		return Disconnected(parts, size, size/2, w, seed)
 	default:
 		panic(fmt.Sprintf("graph: unknown family %q", f))
 	}

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden report files under testdata/")
+
+// goldenPatterns is the fixed fast subset the golden files freeze: quick
+// scenarios spanning the report's shapes — plain metrics, strict bit
+// budgets, multi-component (+Inf) rows, and an ε-sweep row.
+var goldenPatterns = []string{
+	"congest-bfs/*",
+	"congest-bellman-ford/random/*",
+	"congest-cssp/disconnected/*",
+	"congest-cssp/random/n=32/eps=*",
+	"congest-sssp-strict/random/*",
+}
+
+// TestGoldenReports locks the exact bytes of the JSON and markdown reports:
+// any change to metrics, schema, field order, or rendering shows up as a
+// golden diff that has to be reviewed (regenerate with `go test
+// ./internal/harness -run TestGolden -update`). The sweep runs at
+// -parallel=1 and -parallel=8 and both must match the same golden, which
+// pins the determinism contract along the way.
+func TestGoldenReports(t *testing.T) {
+	scns, err := Default(true).Select(goldenPatterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scns) == 0 {
+		t.Fatal("golden selection is empty")
+	}
+	for _, parallel := range []int{1, 8} {
+		results, err := Run(context.Background(), scns, RunOptions{Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := BuildReport("golden", true, results)
+		var js, md bytes.Buffer
+		if err := WriteJSON(&js, rep); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteMarkdown(&md, rep); err != nil {
+			t.Fatal(err)
+		}
+		if parallel == 1 && *updateGolden {
+			writeGolden(t, "golden_report.json", js.Bytes())
+			writeGolden(t, "golden_report.md", md.Bytes())
+		}
+		compareGolden(t, "golden_report.json", js.Bytes(), parallel)
+		compareGolden(t, "golden_report.md", md.Bytes(), parallel)
+	}
+}
+
+func writeGolden(t *testing.T, name string, data []byte) {
+	t.Helper()
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join("testdata", name), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote testdata/%s (%d bytes)", name, len(data))
+}
+
+func compareGolden(t *testing.T, name string, got []byte, parallel int) {
+	t.Helper()
+	want, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("missing golden %s (regenerate with -update): %v", name, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("testdata/%s differs at -parallel=%d (%d vs %d bytes).\n"+
+			"If the change is intentional, regenerate with:\n"+
+			"  go test ./internal/harness -run TestGolden -update\ngot:\n%s",
+			name, parallel, len(got), len(want), clip(got))
+	}
+}
+
+func clip(b []byte) string {
+	const max = 2000
+	if len(b) <= max {
+		return string(b)
+	}
+	return string(b[:max]) + "\n… (clipped)"
+}

@@ -125,8 +125,9 @@ func globMatch(p, name string) bool {
 // to smoke-test scale (CI runs `dsssp-bench -quick`). The suite covers
 // every generator family on the flagship CONGEST SSSP, plus targeted
 // sweeps per claim: sleeping-model energy bounds, multi-source CSSP,
-// zero-weight handling, APSP composition, and the classic baselines for
-// contrast.
+// zero-weight handling, cutter ε sweeps, multi-component (+Inf) graphs,
+// strict-CONGEST bit-budget enforcement, APSP composition, and the classic
+// baselines for contrast.
 func Default(quick bool) *Registry {
 	r := NewRegistry()
 	name := func(model Model, alg Algorithm, fam graph.Family, n int) string {
@@ -178,13 +179,48 @@ func Default(quick bool) *Registry {
 		})
 	}
 
+	// ε sweep (Lemma 2.1): the cutter's approximation parameter must not
+	// affect exactness, only the round/congestion constants — the envelopes
+	// fold ε in, so drifting ratios flag an ε-dependent regression.
+	epsSizes := []int{64}
+	epsValues := [][2]int64{{1, 8}, {1, 4}, {3, 4}}
+	if quick {
+		epsSizes = []int{32}
+		epsValues = [][2]int64{{1, 4}, {3, 4}}
+	}
+	for _, n := range epsSizes {
+		for _, eps := range epsValues {
+			r.MustRegister(Scenario{
+				Name:        fmt.Sprintf("congest-cssp/random/n=%d/eps=%d-%d", n, eps[0], eps[1]),
+				Description: "Lemma 2.1: cutter ε sweep — exact for every ε in (0,1)",
+				Family:      graph.FamilyRandom, N: n, Sources: 2,
+				Weights: WeightSpec{Kind: WeightUniform, MaxW: int64(n)},
+				Model:   ModelCongest, Alg: AlgCSSP,
+				EpsNum: eps[0], EpsDen: eps[1], Seed: 17,
+			})
+		}
+	}
+
+	// Multi-component graphs: sources sit in one component, so every other
+	// component must report the exact +Inf sentinel (and self-verify via
+	// the Unreachable count). CSSP spreads its sources across components.
+	for _, n := range csspSizes {
+		r.MustRegister(Scenario{
+			Name:        name(ModelCongest, AlgCSSP, graph.FamilyDisconnected, n),
+			Description: "multi-component CSSP: sources in two of three components, +Inf in the third",
+			Family:      graph.FamilyDisconnected, N: n, Sources: 2,
+			Weights: WeightSpec{Kind: WeightUniform, MaxW: int64(n)},
+			Model:   ModelCongest, Alg: AlgCSSP, Seed: 19,
+		})
+	}
+
 	// Sleeping-model BFS: polylog awake rounds (Thms 3.13/3.14), with the
 	// always-awake CONGEST BFS alongside for the energy contrast.
 	bfsSizes := []int{128, 256}
 	if quick {
 		bfsSizes = []int{64}
 	}
-	for _, fam := range []graph.Family{graph.FamilyPath, graph.FamilyGrid, graph.FamilyExpander} {
+	for _, fam := range []graph.Family{graph.FamilyPath, graph.FamilyGrid, graph.FamilyExpander, graph.FamilyDisconnected} {
 		for _, n := range bfsSizes {
 			r.MustRegister(Scenario{
 				Name:        name(ModelSleeping, AlgBFS, fam, n),
@@ -237,6 +273,45 @@ func Default(quick bool) *Registry {
 			})
 		}
 	}
+
+	// Strict-CONGEST mode: the same algorithms with the O(log n)-bit
+	// message budget enforced by the simulator — any oversized message
+	// fails the scenario loudly. The zero-heavy row checks that the
+	// Thm 2.7 rescaling stays inside the (wider) rescaled-word budget.
+	strictSizes := []int{64, 128}
+	strictAPSP := 32
+	if quick {
+		strictSizes = []int{32}
+		strictAPSP = 16
+	}
+	strictName := func(alg Algorithm, fam graph.Family, n int) string {
+		return fmt.Sprintf("%s-%s-strict/%s/n=%d", ModelCongest, alg, fam, n)
+	}
+	for _, n := range strictSizes {
+		for _, fam := range []graph.Family{graph.FamilyRandom, graph.FamilyExpander} {
+			r.MustRegister(Scenario{
+				Name:        strictName(AlgSSSP, fam, n),
+				Description: "strict CONGEST: exact SSSP with every message within the O(log n)-bit budget",
+				Family:      fam, N: n,
+				Weights: WeightSpec{Kind: WeightUniform, MaxW: int64(n)},
+				Model:   ModelCongest, Alg: AlgSSSP, Strict: true, Seed: 7,
+			})
+		}
+		r.MustRegister(Scenario{
+			Name:        fmt.Sprintf("congest-cssp-strict/random-zerow/n=%d", n),
+			Description: "strict CONGEST + Thm 2.7: zero-weight rescaling fits the rescaled-word budget",
+			Family:      graph.FamilyRandom, N: n, Sources: 2,
+			Weights: WeightSpec{Kind: WeightZeroHeavy, MaxW: int64(n)},
+			Model:   ModelCongest, Alg: AlgCSSP, Strict: true, Seed: 13,
+		})
+	}
+	r.MustRegister(Scenario{
+		Name:        strictName(AlgAPSP, graph.FamilyRandom, strictAPSP),
+		Description: "strict CONGEST APSP: every composed instance within the bit budget",
+		Family:      graph.FamilyRandom, N: strictAPSP,
+		Weights: WeightSpec{Kind: WeightUniform, MaxW: int64(strictAPSP)},
+		Model:   ModelCongest, Alg: AlgAPSP, Strict: true, Seed: 42,
+	})
 
 	// Baselines on typical random graphs, plus the congestion contrast on
 	// the Bellman-Ford worst-case gadget: its improving chords force Θ(n)

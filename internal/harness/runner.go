@@ -27,15 +27,27 @@ type Result struct {
 	Alg         string `json:"alg"`
 	N           int    `json:"n"`
 	M           int    `json:"m"`
+	// EpsNum/EpsDen echo the scenario's cutter ε (0/0 = default 1/2) and
+	// Strict its strict-CONGEST flag, so reports are self-describing and
+	// the diff tool can refuse to align rows whose dimensions changed.
+	EpsNum int64 `json:"eps_num,omitempty"`
+	EpsDen int64 `json:"eps_den,omitempty"`
+	Strict bool  `json:"strict,omitempty"`
 
 	// Simulator metrics (per instance; for APSP, of the heaviest instance).
 	Rounds          int64 `json:"rounds"`
 	StrictRounds    int64 `json:"strict_rounds,omitempty"`
 	Messages        int64 `json:"messages"`
 	MaxEdgeMessages int64 `json:"max_edge_messages"`
-	MaxAwake        int64 `json:"max_awake,omitempty"`
-	TotalAwake      int64 `json:"total_awake,omitempty"`
-	SubproblemsMax  int   `json:"subproblems_max,omitempty"`
+	// MaxMessageBits is the largest single message in bits (strict
+	// scenarios only — sizing is skipped elsewhere).
+	MaxMessageBits int64 `json:"max_message_bits,omitempty"`
+	MaxAwake       int64 `json:"max_awake,omitempty"`
+	TotalAwake     int64 `json:"total_awake,omitempty"`
+	SubproblemsMax int   `json:"subproblems_max,omitempty"`
+	// Unreachable counts nodes at distance +Inf from the scenario's
+	// sources (multi-component families; 0 elsewhere and for APSP).
+	Unreachable int `json:"unreachable,omitempty"`
 
 	// APSP composition metrics (Section 1.1), zero elsewhere.
 	Dilation           int64 `json:"dilation,omitempty"`
@@ -142,7 +154,8 @@ func resultHeader(s Scenario) Result {
 	return Result{
 		Scenario: s.Name, Description: s.Description,
 		Family: string(s.Family), Model: string(s.Model), Alg: string(s.Alg),
-		N: s.N, Envelope: s.PredictedEnvelope(),
+		N: s.N, EpsNum: s.EpsNum, EpsDen: s.EpsDen, Strict: s.Strict,
+		Envelope: s.PredictedEnvelope(),
 	}
 }
 
@@ -156,7 +169,7 @@ func executeUnvalidated(s Scenario) (r Result) {
 	}()
 	g := s.BuildGraph()
 	r.N, r.M = g.N(), g.M()
-	copt := core.Options{EpsNum: s.EpsNum, EpsDen: s.EpsDen}
+	copt := core.Options{EpsNum: s.EpsNum, EpsDen: s.EpsDen, StrictCongest: s.Strict}
 
 	switch s.Alg {
 	case AlgSSSP, AlgCSSP:
@@ -173,7 +186,7 @@ func executeUnvalidated(s Scenario) (r Result) {
 			r.Err = err.Error()
 			return r
 		}
-		fillMetrics(&r, met.Rounds, met.StrictRounds, met.Messages, met.MaxEdgeMessages, met.MaxAwake, met.TotalAwake)
+		fillMetrics(&r, met)
 		r.SubproblemsMax = maxSub(st)
 		finish(&r, d, graph.MultiSourceDijkstra(g, sources))
 		return r
@@ -195,7 +208,7 @@ func executeUnvalidated(s Scenario) (r Result) {
 			r.Err = err.Error()
 			return r
 		}
-		fillMetrics(&r, met.Rounds, met.StrictRounds, met.Messages, met.MaxEdgeMessages, met.MaxAwake, met.TotalAwake)
+		fillMetrics(&r, met)
 		finish(&r, d, graph.BFSDist(g, 0))
 		return r
 
@@ -205,7 +218,7 @@ func executeUnvalidated(s Scenario) (r Result) {
 			r.Err = err.Error()
 			return r
 		}
-		fillMetrics(&r, met.Rounds, met.StrictRounds, met.Messages, met.MaxEdgeMessages, met.MaxAwake, met.TotalAwake)
+		fillMetrics(&r, met)
 		finish(&r, d, graph.Dijkstra(g, 0))
 		return r
 
@@ -215,7 +228,7 @@ func executeUnvalidated(s Scenario) (r Result) {
 			r.Err = err.Error()
 			return r
 		}
-		fillMetrics(&r, met.Rounds, met.StrictRounds, met.Messages, met.MaxEdgeMessages, met.MaxAwake, met.TotalAwake)
+		fillMetrics(&r, met)
 		finish(&r, d, graph.Dijkstra(g, 0))
 		return r
 
@@ -246,7 +259,7 @@ func executeUnvalidated(s Scenario) (r Result) {
 			}
 			totalMsg += met.Messages
 			mu.Unlock()
-			return sched.Trace{Entries: tr, Rounds: met.Rounds}, nil
+			return sched.Trace{Entries: tr, Rounds: met.Rounds, MaxMessageBits: met.MaxMessageBits}, nil
 		}
 		comp, err := sched.APSPParallel(g, nil, runner, s.Seed, workers)
 		if err != nil {
@@ -254,6 +267,7 @@ func executeUnvalidated(s Scenario) (r Result) {
 			return r
 		}
 		r.Rounds, r.MaxEdgeMessages, r.Messages = maxR, maxEdge, totalMsg
+		r.MaxMessageBits = comp.MaxMessageBits
 		r.Dilation, r.Congestion = comp.Dilation, comp.Congestion
 		r.MakespanAligned, r.MakespanRandom = comp.MakespanAligned, comp.MakespanRandom
 		r.MakespanSequential = comp.MakespanSequential
@@ -275,9 +289,10 @@ func executeUnvalidated(s Scenario) (r Result) {
 	return r
 }
 
-func fillMetrics(r *Result, rounds, strict, msgs, maxEdge, maxAwake, totalAwake int64) {
-	r.Rounds, r.StrictRounds, r.Messages = rounds, strict, msgs
-	r.MaxEdgeMessages, r.MaxAwake, r.TotalAwake = maxEdge, maxAwake, totalAwake
+func fillMetrics(r *Result, met simnet.Metrics) {
+	r.Rounds, r.StrictRounds, r.Messages = met.Rounds, met.StrictRounds, met.Messages
+	r.MaxEdgeMessages, r.MaxAwake, r.TotalAwake = met.MaxEdgeMessages, met.MaxAwake, met.TotalAwake
+	r.MaxMessageBits = met.MaxMessageBits
 }
 
 func maxSub(st core.Stats) int {
@@ -291,6 +306,9 @@ func maxSub(st core.Stats) int {
 }
 
 // finish verifies got against the sequential reference and records the hash.
+// Unreachable nodes must agree on the exact +Inf sentinel — a huge-but-
+// finite value would be a bug masked by plain equality on reachable rows,
+// so the check is explicit.
 func finish(r *Result, got, want []int64) {
 	h := fnv.New64a()
 	hashInto(h, got)
@@ -298,6 +316,16 @@ func finish(r *Result, got, want []int64) {
 	r.OK = equalDists(got, want)
 	if !r.OK {
 		r.Err = "distances disagree with the sequential reference"
+		return
+	}
+	for i, d := range got {
+		if d == graph.Inf {
+			r.Unreachable++
+		} else if d > graph.Inf/2 {
+			r.OK = false
+			r.Err = fmt.Sprintf("node %d: near-Inf distance %d is neither finite nor the +Inf sentinel", i, d)
+			return
+		}
 	}
 }
 

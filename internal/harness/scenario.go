@@ -16,6 +16,7 @@ import (
 	"math/bits"
 
 	"dsssp/internal/graph"
+	"dsssp/internal/proto"
 )
 
 // Algorithm names a distributed (or baseline) algorithm a scenario runs.
@@ -89,8 +90,15 @@ type Scenario struct {
 	// Sources is the number of sources for AlgCSSP (default 1; others
 	// always use a single source, node 0).
 	Sources int `json:"sources,omitempty"`
-	// EpsNum/EpsDen override the cutter ε (0/0 = the algorithm default).
-	EpsNum, EpsDen int64 `json:"-"`
+	// EpsNum/EpsDen override the cutter ε in (0,1) (0/0 = the algorithm
+	// default of 1/2). Part of the scenario's stable identity, so the ε
+	// sweep dimension survives the JSON round trip for diff tooling.
+	EpsNum int64 `json:"eps_num,omitempty"`
+	EpsDen int64 `json:"eps_den,omitempty"`
+	// Strict runs the scenario in strict-CONGEST mode: every message is
+	// sized and the run fails if any exceeds the O(log n)-bit budget
+	// (proto.BitBudget). CONGEST SSSP/CSSP/APSP only.
+	Strict bool `json:"strict,omitempty"`
 	// Seed is the base seed; the graph-structure and weight seeds are
 	// derived from it and the scenario name, so renaming or reseeding a
 	// scenario changes its graph but nothing else does.
@@ -132,6 +140,24 @@ func (s *Scenario) Validate() error {
 	}
 	if s.Sources < 0 || s.Sources > s.N {
 		return fmt.Errorf("harness: scenario %q: Sources %d out of range", s.Name, s.Sources)
+	}
+	if s.EpsNum != 0 || s.EpsDen != 0 {
+		if s.EpsNum <= 0 || s.EpsDen <= 0 || s.EpsNum >= s.EpsDen {
+			return fmt.Errorf("harness: scenario %q: ε must be in (0,1), got %d/%d", s.Name, s.EpsNum, s.EpsDen)
+		}
+		if s.Alg != AlgSSSP && s.Alg != AlgCSSP && s.Alg != AlgAPSP {
+			return fmt.Errorf("harness: scenario %q: ε applies to the CSSP recursion (sssp/cssp/apsp), not %s", s.Name, s.Alg)
+		}
+	}
+	if s.Strict {
+		if s.Model != ModelCongest {
+			return fmt.Errorf("harness: scenario %q: strict-CONGEST mode needs the congest model, got %s", s.Name, s.Model)
+		}
+		switch s.Alg {
+		case AlgSSSP, AlgCSSP, AlgAPSP:
+		default:
+			return fmt.Errorf("harness: scenario %q: strict-CONGEST mode supports sssp/cssp/apsp, not %s", s.Name, s.Alg)
+		}
 	}
 	found := false
 	for _, f := range graph.Families() {
@@ -199,6 +225,10 @@ type Envelope struct {
 	// MaxAwake bounds per-node awake rounds: poly(log n) in the sleeping
 	// model (Thm 1.1).
 	MaxAwake int64 `json:"max_awake,omitempty"`
+	// MessageBits bounds the size of any single message: the strict
+	// CONGEST O(log n)-bit budget (set only for Strict scenarios, where
+	// the simulator enforces it).
+	MessageBits int64 `json:"message_bits,omitempty"`
 }
 
 func lg(n int) int64 {
@@ -224,9 +254,27 @@ func (s *Scenario) PredictedEnvelope() Envelope {
 		maxW = 2*n + 1 // the gadget's chord weights are structural, not from WeightSpec
 	}
 	ld := lg64(n * maxW) // recursion depth: log of the initial threshold D0
+	// The strict-CONGEST bit budget grows with the effective weight range:
+	// zero-weight graphs are rescaled by n+1 before the run (Thm 2.7), so
+	// their distance values — and hence message payloads — are wider.
+	bitW := maxW
+	if s.Weights.Kind == WeightZeroHeavy {
+		bitW = maxW * (n + 1)
+	}
+	var bits int64
+	if s.Strict {
+		bits = proto.BitBudget(s.N, bitW)
+	}
+	// The cutter's round cost per recursion level scales like 1/ε (the
+	// fragment windows are Θ(D/ε) for the small-ε sweep); fold the
+	// configured ε into the rounds envelope so the sweep stays comparable.
+	epsFactor := int64(1)
+	if s.EpsNum > 0 && s.EpsDen/s.EpsNum > 2 {
+		epsFactor = (s.EpsDen + s.EpsNum - 1) / s.EpsNum / 2
+	}
 	switch s.Alg {
 	case AlgSSSP, AlgCSSP:
-		e := Envelope{Rounds: 64 * n * l * ld * ld, Congestion: 8 * l * l * ld * ld}
+		e := Envelope{Rounds: 64 * epsFactor * n * l * ld * ld, Congestion: 8 * l * l * ld * ld, MessageBits: bits}
 		if s.Model == ModelSleeping {
 			// The sleeping-model recursion pays polylog awake rounds
 			// (Thm 3.15) but much larger constants in wall-clock rounds.
@@ -242,7 +290,7 @@ func (s *Scenario) PredictedEnvelope() Envelope {
 	case AlgAPSP:
 		// Per-instance bounds; the composition metrics get their own
 		// columns (random-delay makespan vs C+T) in the report.
-		return Envelope{Rounds: 64 * n * l * ld * ld, Congestion: 8 * n * l * l * ld * ld}
+		return Envelope{Rounds: 64 * epsFactor * n * l * ld * ld, Congestion: 8 * n * l * l * ld * ld, MessageBits: bits}
 	default:
 		return Envelope{}
 	}

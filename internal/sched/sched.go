@@ -32,6 +32,11 @@ type Trace struct {
 	Entries []simnet.TraceEntry
 	// Rounds is the instance's round count (its dilation).
 	Rounds int64
+	// MaxMessageBits is the largest message the instance sent, in bits
+	// (0 when the runner did not measure it). The strict-CONGEST APSP
+	// composition needs every instance inside the O(log n)-bit budget —
+	// the scheduling theorem serializes rounds, never splits messages.
+	MaxMessageBits int64
 }
 
 // Composition is the result of scheduling a set of traces together.
@@ -46,6 +51,9 @@ type Composition struct {
 	MakespanRandom int64
 	// MakespanSequential is the sum of instance durations.
 	MakespanSequential int64
+	// MaxMessageBits is the largest message any instance sent (0 when the
+	// traces carry no measurement).
+	MaxMessageBits int64
 }
 
 // Compose computes the composition metrics for the given traces over a
@@ -57,6 +65,9 @@ func Compose(m int, traces []Trace, seed int64) Composition {
 	for _, tr := range traces {
 		if tr.Rounds > comp.Dilation {
 			comp.Dilation = tr.Rounds
+		}
+		if tr.MaxMessageBits > comp.MaxMessageBits {
+			comp.MaxMessageBits = tr.MaxMessageBits
 		}
 		comp.MakespanSequential += tr.Rounds
 		for _, e := range tr.Entries {

@@ -67,6 +67,16 @@ type Config struct {
 	// constraint). Leave false for algorithms that multiplex subroutines
 	// and rely on megaround accounting (Section 3.1.3).
 	StrictCongest bool
+	// MessageBits, if non-nil, estimates the wire size of every sent
+	// message in bits; the maximum is reported in Metrics.MaxMessageBits.
+	// Leave nil to skip the (reflection-heavy) measurement on hot paths.
+	MessageBits func(msg any) int64
+	// MaxMessageBits, when > 0 and MessageBits is set, is the strict
+	// CONGEST bandwidth budget: the run fails loudly as soon as any single
+	// message exceeds it. The paper's model allows O(log n)-bit messages;
+	// callers derive the concrete budget from the graph (see
+	// proto.BitBudget).
+	MaxMessageBits int64
 }
 
 // Inbound is a received message.
@@ -105,6 +115,10 @@ type Metrics struct {
 	// MaxEdgeMessages is the maximum, over undirected edges, of the total
 	// messages carried (both directions) — the paper's congestion measure.
 	MaxEdgeMessages int64
+	// MaxMessageBits is the largest single message observed, in bits
+	// (0 unless Config.MessageBits was set) — the strict CONGEST
+	// bandwidth measure.
+	MaxMessageBits int64
 	// TotalAwake is the sum over nodes of awake rounds.
 	TotalAwake int64
 	// MaxAwake is the maximum over nodes of awake rounds — the paper's
@@ -376,6 +390,17 @@ func (e *Engine) Run(p Program) (*Result, error) {
 				h := adj[om.nbIndex]
 				met.Messages++
 				met.PerEdgeMessages[h.ID]++
+				if e.cfg.MessageBits != nil {
+					b := e.cfg.MessageBits(om.msg)
+					if b > met.MaxMessageBits {
+						met.MaxMessageBits = b
+					}
+					if e.cfg.MaxMessageBits > 0 && b > e.cfg.MaxMessageBits {
+						return nil, fmt.Errorf(
+							"simnet: strict CONGEST violation: node %d sent a %d-bit message (%T) over edge %d in round %d, exceeding the %d-bit budget",
+							id, b, om.msg, h.ID, cur, e.cfg.MaxMessageBits)
+					}
+				}
 				dirBit := int64(0)
 				if id > h.To {
 					dirBit = 1

@@ -80,3 +80,28 @@ func TestRunScenariosLibraryEntry(t *testing.T) {
 		t.Fatal("bogus pattern accepted")
 	}
 }
+
+// TestRunScenariosEmptyFilter: a blank filter must be a descriptive error,
+// never an empty report with zero failures that masquerades as a passing
+// sweep (the classic mistyped-shell-variable CI hole). nil and "all" still
+// mean "everything".
+func TestRunScenariosEmptyFilter(t *testing.T) {
+	for _, patterns := range [][]string{{}, {""}, {"  "}, {"", " "}} {
+		rep, err := RunScenarios(context.Background(), patterns, true, 1)
+		if err == nil {
+			t.Fatalf("patterns %q: want a descriptive error, got a report with %d scenarios", patterns, rep.Scenarios)
+		}
+		if !strings.Contains(err.Error(), "empty scenario filter") {
+			t.Errorf("patterns %q: error not descriptive: %v", patterns, err)
+		}
+	}
+	// nil still sweeps everything (only check selection, not a full run).
+	names := ScenarioNames(true)
+	if len(names) == 0 {
+		t.Fatal("no scenarios")
+	}
+	rep, err := RunScenarios(context.Background(), []string{names[0]}, true, 1)
+	if err != nil || rep.Scenarios != 1 {
+		t.Fatalf("single-name filter failed: %+v, %v", rep, err)
+	}
+}

@@ -73,21 +73,31 @@ func SSSPTree(g *Graph, source NodeID, opts *Options) (*TreeResult, error) {
 }
 
 // PathTo reconstructs the path from v back to its closest source using a
-// TreeResult (inclusive of both endpoints, source last). Returns nil for
-// unreachable nodes.
-func (t *TreeResult) PathTo(v NodeID) []NodeID {
+// TreeResult (inclusive of both endpoints, source last). Unreachable nodes
+// (Dist == Inf, in another component than every source) and corrupted
+// parent pointers yield descriptive errors instead of a nil path or an
+// unbounded walk.
+func (t *TreeResult) PathTo(v NodeID) ([]NodeID, error) {
+	if v < 0 || int(v) >= len(t.Dist) {
+		return nil, fmt.Errorf("dsssp: PathTo(%d): node out of range [0,%d)", v, len(t.Dist))
+	}
 	if t.Dist[v] == Inf {
-		return nil
+		return nil, fmt.Errorf("dsssp: PathTo(%d): node is unreachable from every source (distance +Inf, parent-less)", v)
 	}
 	path := []NodeID{v}
 	for t.Parent[v] >= 0 {
-		v = t.Parent[v]
+		p := t.Parent[v]
+		if int(p) >= len(t.Parent) {
+			return nil, fmt.Errorf("dsssp: PathTo(%d): node %d has out-of-range parent %d — the TreeResult is corrupt", path[0], v, p)
+		}
+		v = p
 		path = append(path, v)
 		if len(path) > len(t.Parent) {
-			panic("dsssp: parent cycle")
+			return nil, fmt.Errorf("dsssp: PathTo(%d): parent pointers form a cycle through node %d after %d hops — the TreeResult is corrupt",
+				path[0], v, len(path))
 		}
 	}
-	return path
+	return path, nil
 }
 
 // Verify checks a TreeResult against the graph: parents witness distances

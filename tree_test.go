@@ -1,6 +1,7 @@
 package dsssp
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -24,7 +25,10 @@ func TestSSSPTreeBasics(t *testing.T) {
 	}
 	// The path from the far corner must start there, end at the source,
 	// and telescope the distance.
-	p := res.PathTo(24)
+	p, err := res.PathTo(24)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p[0] != 24 || p[len(p)-1] != 0 {
 		t.Fatalf("path endpoints %v", p)
 	}
@@ -66,12 +70,46 @@ func TestTreeUnreachable(t *testing.T) {
 		t.Fatal(err)
 	}
 	for v := 5; v < 10; v++ {
+		if res.Dist[v] != Inf {
+			t.Fatalf("unreachable node %d has finite distance %d", v, res.Dist[v])
+		}
 		if res.Parent[v] != -1 {
 			t.Fatalf("unreachable node %d has parent %d", v, res.Parent[v])
 		}
-		if res.PathTo(NodeID(v)) != nil {
-			t.Fatalf("unreachable node %d has a path", v)
+		p, err := res.PathTo(NodeID(v))
+		if err == nil || p != nil {
+			t.Fatalf("unreachable node %d: want a descriptive error, got path %v err %v", v, p, err)
 		}
+		if !strings.Contains(err.Error(), "unreachable") {
+			t.Fatalf("error not descriptive: %v", err)
+		}
+	}
+}
+
+// TestPathToCorruptTree: a parent cycle must yield an error, not an
+// unbounded loop (or a panic).
+func TestPathToCorruptTree(t *testing.T) {
+	g := graph.Path(4, graph.UnitWeights)
+	res, err := SSSPTree(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Parent[1], res.Parent[2] = 2, 1 // corrupt: 1↔2 cycle
+	p, err := res.PathTo(3)
+	if err == nil {
+		t.Fatalf("corrupt tree walked to %v without error", p)
+	}
+	if !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("error not descriptive: %v", err)
+	}
+	if _, err := res.PathTo(99); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	// An out-of-range parent pointer must error too, not index-panic.
+	res.Parent[1], res.Parent[2] = 0, 1 // restore the chain
+	res.Parent[1] = 99
+	if _, err := res.PathTo(3); err == nil || !strings.Contains(err.Error(), "out-of-range parent") {
+		t.Fatalf("corrupt parent pointer: want descriptive error, got %v", err)
 	}
 }
 
