@@ -25,6 +25,7 @@ func BenchmarkE1CongestCSSP(b *testing.B) {
 	for _, n := range []int{64, 128, 256} {
 		g := graph.RandomConnected(n, 2*n, graph.UniformWeights(int64(n), 7), 7)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			var met simnet.Metrics
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -43,6 +44,7 @@ func BenchmarkE1CongestCSSP(b *testing.B) {
 func BenchmarkE1Baselines(b *testing.B) {
 	g := graph.RandomConnected(128, 256, graph.UniformWeights(128, 7), 7)
 	b.Run("bellman-ford", func(b *testing.B) {
+		b.ReportAllocs()
 		var met simnet.Metrics
 		for i := 0; i < b.N; i++ {
 			var err error
@@ -54,6 +56,7 @@ func BenchmarkE1Baselines(b *testing.B) {
 		b.ReportMetric(float64(met.MaxEdgeMessages), "maxEdgeMsgs")
 	})
 	b.Run("dijkstra", func(b *testing.B) {
+		b.ReportAllocs()
 		var met simnet.Metrics
 		for i := 0; i < b.N; i++ {
 			var err error
@@ -72,6 +75,7 @@ func BenchmarkE2Cutter(b *testing.B) {
 	w := graph.WeightedDiameterUpper(g) / 4
 	for _, eps := range [][2]int64{{1, 2}, {1, 8}} {
 		b.Run(fmt.Sprintf("eps=%d/%d", eps[0], eps[1]), func(b *testing.B) {
+			b.ReportAllocs()
 			var met simnet.Metrics
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -91,6 +95,7 @@ func BenchmarkE3Forest(b *testing.B) {
 	for _, n := range []int{128, 512} {
 		g := graph.RandomConnected(n, n, graph.UnitWeights, 3)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			var met simnet.Metrics
 			for i := 0; i < b.N; i++ {
 				eng := simnet.New(g, simnet.Config{Model: simnet.Congest})
@@ -113,6 +118,7 @@ func BenchmarkE3Forest(b *testing.B) {
 func BenchmarkE4Covers(b *testing.B) {
 	g := graph.RandomConnected(256, 512, graph.UnitWeights, 3)
 	b.Run("n=256", func(b *testing.B) {
+		b.ReportAllocs()
 		var cv *decomp.Cover
 		for i := 0; i < b.N; i++ {
 			var err error
@@ -131,6 +137,7 @@ func BenchmarkE5EnergyBFS(b *testing.B) {
 	for _, n := range []int{128, 256} {
 		g := graph.Path(n, graph.UnitWeights)
 		b.Run(fmt.Sprintf("path/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			var met simnet.Metrics
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -149,6 +156,7 @@ func BenchmarkE5EnergyBFS(b *testing.B) {
 func BenchmarkE6EnergyForest(b *testing.B) {
 	g := graph.RandomConnected(256, 256, graph.UnitWeights, 3)
 	b.Run("n=256", func(b *testing.B) {
+		b.ReportAllocs()
 		var met simnet.Metrics
 		for i := 0; i < b.N; i++ {
 			eng := simnet.New(g, simnet.Config{Model: simnet.Sleeping})
@@ -169,6 +177,7 @@ func BenchmarkE6EnergyForest(b *testing.B) {
 func BenchmarkE7EnergySSSP(b *testing.B) {
 	g := graph.RandomConnected(20, 10, graph.UniformWeights(4, 7), 7)
 	b.Run("n=20", func(b *testing.B) {
+		b.ReportAllocs()
 		var met simnet.Metrics
 		for i := 0; i < b.N; i++ {
 			var err error
@@ -186,6 +195,7 @@ func BenchmarkE7EnergySSSP(b *testing.B) {
 func BenchmarkE8APSP(b *testing.B) {
 	g := graph.RandomConnected(32, 64, graph.UniformWeights(32, 11), 11)
 	b.Run("n=32", func(b *testing.B) {
+		b.ReportAllocs()
 		var res *APSPResult
 		for i := 0; i < b.N; i++ {
 			var err error
@@ -205,6 +215,7 @@ func BenchmarkE9Ablations(b *testing.B) {
 	g := graph.RandomConnected(64, 64, graph.UniformWeights(64, 13), 13)
 	for _, eps := range [][2]int64{{1, 4}, {1, 2}, {3, 4}} {
 		b.Run(fmt.Sprintf("eps=%d/%d", eps[0], eps[1]), func(b *testing.B) {
+			b.ReportAllocs()
 			var met simnet.Metrics
 			for i := 0; i < b.N; i++ {
 				var err error

@@ -7,7 +7,10 @@
 // Because harness reports are deterministic — same scenario list ⇒ byte-
 // identical results on any machine at any parallelism — every non-zero
 // delta is a real behavior change, not noise; the thresholds only decide
-// which changes are large enough to block a merge.
+// which changes are large enough to block a merge. The one exception is
+// the opt-in perf sidecar (harness.Result.Perf, wall_ns/allocs): it is
+// machine-dependent by design and deliberately excluded from comparison
+// and gating, so perf-annotated reports diff clean against plain ones.
 package benchdiff
 
 import (

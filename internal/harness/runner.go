@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"runtime"
 	"sync"
+	"time"
 
 	"dsssp/internal/baseline"
 	"dsssp/internal/core"
@@ -15,10 +16,13 @@ import (
 	"dsssp/internal/simnet"
 )
 
-// Result is the machine-readable outcome of one scenario run. Every field
-// is a pure function of the Scenario — wall-clock time is deliberately kept
-// out so that reports from parallel and sequential sweeps (and from
-// different machines) are byte-identical and diffable across PRs.
+// Result is the machine-readable outcome of one scenario run. Every
+// model-level field is a pure function of the Scenario — so reports from
+// parallel and sequential sweeps (and from different machines) are
+// byte-identical and diffable across PRs. The one deliberate exception is
+// the opt-in Perf sidecar, which exists precisely to carry the
+// non-deterministic wall-time/allocation trajectory and is ignored by all
+// determinism machinery (dist hashes, golden files, diff gating).
 type Result struct {
 	Scenario    string `json:"scenario"`
 	Description string `json:"description,omitempty"`
@@ -65,6 +69,26 @@ type Result struct {
 	DistHash string `json:"dist_hash"`
 	OK       bool   `json:"ok"`
 	Err      string `json:"err,omitempty"`
+
+	// Perf is the opt-in wall-time/allocation sidecar (RunOptions.Perf /
+	// dsssp-bench -perf). It is machine- and load-dependent by nature, so
+	// it is excluded from everything determinism relies on: it never feeds
+	// DistHash, it is omitted from reports when the flag is off (keeping
+	// golden bytes stable), and cmd/dsssp-diff ignores it when gating.
+	Perf *Perf `json:"perf,omitempty"`
+}
+
+// Perf records how expensive one scenario run was on the machine that ran
+// it — the wall-time trajectory BENCH_*.json deliberately lacked before.
+type Perf struct {
+	// WallNS is the scenario's wall time in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// Allocs/AllocBytes are the heap allocations the scenario performed.
+	// The runtime counters are process-global, so they are measured only
+	// when the sweep runs with Parallel == 1 (as the CI perf job does) and
+	// reported as 0 otherwise.
+	Allocs     int64 `json:"allocs,omitempty"`
+	AllocBytes int64 `json:"alloc_bytes,omitempty"`
 }
 
 // RunOptions tunes a sweep.
@@ -76,6 +100,10 @@ type RunOptions struct {
 	// (completed count, total, that scenario's result). Calls are
 	// serialized but arrive in completion order, not input order.
 	Progress func(done, total int, r Result)
+	// Perf attaches the wall-time/allocation sidecar to every result (see
+	// Result.Perf). All model-level metrics stay byte-identical with the
+	// flag off or on; only the perf fields differ between machines.
+	Perf bool
 }
 
 // Run executes the scenarios over a worker pool and returns results in
@@ -95,6 +123,9 @@ func Run(ctx context.Context, scenarios []Scenario, opt RunOptions) ([]Result, e
 	if workers < 1 {
 		workers = 1
 	}
+	// The allocation counters are process-global; attributing them to one
+	// scenario is only meaningful when nothing else runs concurrently.
+	measureAllocs := opt.Perf && workers == 1
 	results := make([]Result, len(scenarios))
 	var (
 		wg   sync.WaitGroup
@@ -109,6 +140,8 @@ func Run(ctx context.Context, scenarios []Scenario, opt RunOptions) ([]Result, e
 			for i := range idx {
 				if ctx.Err() != nil {
 					results[i] = skipped(scenarios[i], ctx.Err())
+				} else if opt.Perf {
+					results[i] = executeWithPerf(scenarios[i], measureAllocs)
 				} else {
 					results[i] = Execute(scenarios[i])
 				}
@@ -127,6 +160,25 @@ func Run(ctx context.Context, scenarios []Scenario, opt RunOptions) ([]Result, e
 	close(idx)
 	wg.Wait()
 	return results, ctx.Err()
+}
+
+// executeWithPerf runs a scenario under the perf sidecar. The Result's
+// model-level fields are exactly Execute's; only the Perf sidecar is added.
+func executeWithPerf(s Scenario, measureAllocs bool) Result {
+	var m0, m1 runtime.MemStats
+	if measureAllocs {
+		runtime.ReadMemStats(&m0)
+	}
+	start := time.Now()
+	r := Execute(s)
+	perf := &Perf{WallNS: time.Since(start).Nanoseconds()}
+	if measureAllocs {
+		runtime.ReadMemStats(&m1)
+		perf.Allocs = int64(m1.Mallocs - m0.Mallocs)
+		perf.AllocBytes = int64(m1.TotalAlloc - m0.TotalAlloc)
+	}
+	r.Perf = perf
+	return r
 }
 
 func skipped(s Scenario, err error) Result {

@@ -20,7 +20,7 @@ package sched
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"sync"
 
 	"dsssp/internal/graph"
@@ -96,31 +96,64 @@ func Compose(m int, traces []Trace, seed int64) Composition {
 
 // makespan serializes the delayed composition: composed round r needs
 // max(1, max_e per-direction load at r) strict CONGEST rounds.
+//
+// The computation is all flat arrays — no maps, no interface-driven sorts:
+// composed send rounds are bucketed per directed edge (2m dense indices)
+// with a counting pass + prefix sums, each edge's bucket is sorted with the
+// specialized slices.Sort for int64, and the per-round maximum load lives
+// in a horizon-sized slice. This is what lets an n-instance APSP
+// composition stay in the noise next to the simulations that produced it.
 func makespan(m int, traces []Trace, delays []int64) int64 {
-	// Per directed edge, collect composed send rounds.
-	type key struct {
-		edge graph.EdgeID
-		dir  byte
-	}
-	rounds := make(map[key][]int64)
 	var horizon int64
+	total := 0
 	for i, tr := range traces {
 		d := delays[i]
 		if tr.Rounds+d > horizon {
 			horizon = tr.Rounds + d
 		}
+		total += len(tr.Entries)
+	}
+	if total == 0 {
+		return horizon
+	}
+	// Counting pass: off[di+1] ends as the bucket start of directed edge
+	// di (= 2*edge + dir), then a fill pass groups the composed rounds.
+	off := make([]int32, 2*m+1)
+	for _, tr := range traces {
 		for _, e := range tr.Entries {
-			k := key{e.Edge, e.Dir}
-			rounds[k] = append(rounds[k], e.Round+d)
+			off[2*int32(e.Edge)+int32(e.Dir)+1]++
 		}
 	}
-	// loadExtra[r] = max_e load(e,r) - 1 contributions; compute the max
-	// per round over all directed edges.
-	maxLoad := make(map[int64]int64)
-	for _, rs := range rounds {
-		sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	for i := 1; i <= 2*m; i++ {
+		off[i] += off[i-1]
+	}
+	rounds := make([]int64, total)
+	fill := make([]int32, 2*m)
+	copy(fill, off[:2*m])
+	var maxRound int64
+	for i, tr := range traces {
+		d := delays[i]
+		for _, e := range tr.Entries {
+			di := 2*int32(e.Edge) + int32(e.Dir)
+			rounds[fill[di]] = e.Round + d
+			fill[di]++
+			if e.Round+d > maxRound {
+				maxRound = e.Round + d
+			}
+		}
+	}
+	// maxLoad[r] = max over directed edges of the messages an edge carries
+	// in composed round r; each bucket is a concatenation of per-trace
+	// sorted runs, so sort it and scan for equal-round runs.
+	maxLoad := make([]int64, maxRound+1)
+	for di := 0; di < 2*m; di++ {
+		rs := rounds[off[di]:off[di+1]]
+		if len(rs) == 0 {
+			continue
+		}
+		slices.Sort(rs)
 		run := int64(0)
-		for i := 0; i < len(rs); i++ {
+		for i := range rs {
 			if i > 0 && rs[i] == rs[i-1] {
 				run++
 			} else {
@@ -131,11 +164,13 @@ func makespan(m int, traces []Trace, delays []int64) int64 {
 			}
 		}
 	}
-	total := horizon
+	totalSpan := horizon
 	for _, l := range maxLoad {
-		total += l - 1
+		if l > 1 {
+			totalSpan += l - 1
+		}
 	}
-	return total
+	return totalSpan
 }
 
 // SSSPRunner produces the trace of one SSSP instance from the given source.

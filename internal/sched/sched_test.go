@@ -1,11 +1,156 @@
 package sched
 
 import (
+	"math/rand"
+	"sort"
 	"testing"
 
 	"dsssp/internal/graph"
 	"dsssp/internal/simnet"
 )
+
+// makespanRef is the pre-flat-array makespan (maps + sort.Slice), kept as
+// the reference the rewritten implementation is pinned against.
+func makespanRef(m int, traces []Trace, delays []int64) int64 {
+	type key struct {
+		edge graph.EdgeID
+		dir  byte
+	}
+	rounds := make(map[key][]int64)
+	var horizon int64
+	for i, tr := range traces {
+		d := delays[i]
+		if tr.Rounds+d > horizon {
+			horizon = tr.Rounds + d
+		}
+		for _, e := range tr.Entries {
+			k := key{e.Edge, e.Dir}
+			rounds[k] = append(rounds[k], e.Round+d)
+		}
+	}
+	maxLoad := make(map[int64]int64)
+	for _, rs := range rounds {
+		sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+		run := int64(0)
+		for i := 0; i < len(rs); i++ {
+			if i > 0 && rs[i] == rs[i-1] {
+				run++
+			} else {
+				run = 1
+			}
+			if run > maxLoad[rs[i]] {
+				maxLoad[rs[i]] = run
+			}
+		}
+	}
+	total := horizon
+	for _, l := range maxLoad {
+		total += l - 1
+	}
+	return total
+}
+
+// TestMakespanPinnedFixedTraces pins makespan on hand-computed fixed traces
+// so the flat-array rewrite provably reproduces the map-based original.
+func TestMakespanPinnedFixedTraces(t *testing.T) {
+	traces := []Trace{
+		{Rounds: 4, Entries: []simnet.TraceEntry{
+			{Round: 0, Edge: 0, Dir: 0}, {Round: 1, Edge: 0, Dir: 0}, {Round: 2, Edge: 1, Dir: 1},
+		}},
+		{Rounds: 3, Entries: []simnet.TraceEntry{
+			{Round: 0, Edge: 0, Dir: 0}, {Round: 1, Edge: 1, Dir: 1}, {Round: 2, Edge: 0, Dir: 0},
+		}},
+		{Rounds: 5, Entries: []simnet.TraceEntry{
+			{Round: 4, Edge: 1, Dir: 0},
+		}},
+	}
+	aligned := makespan(2, traces, []int64{0, 0, 0})
+	if aligned != 6 { // horizon 5, edge0/dir0 carries load 2 in round 0
+		t.Fatalf("aligned makespan %d, want 6", aligned)
+	}
+	delayed := makespan(2, traces, []int64{0, 1, 2})
+	if delayed != 9 { // horizon 7, load 2 in rounds 1 (e0d0) and 2 (e1d1)
+		t.Fatalf("delayed makespan %d, want 9", delayed)
+	}
+	for _, delays := range [][]int64{{0, 0, 0}, {0, 1, 2}, {3, 0, 5}} {
+		if got, want := makespan(2, traces, delays), makespanRef(2, traces, delays); got != want {
+			t.Fatalf("delays %v: makespan %d, reference %d", delays, got, want)
+		}
+	}
+	if makespan(2, nil, nil) != 0 {
+		t.Fatal("empty composition must have zero makespan")
+	}
+}
+
+// TestMakespanMatchesReferenceRandom cross-checks the flat-array makespan
+// against the map-based reference on randomized traces and delays.
+func TestMakespanMatchesReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for it := 0; it < 200; it++ {
+		m := rng.Intn(8) + 1
+		nTr := rng.Intn(6) + 1
+		traces := make([]Trace, nTr)
+		delays := make([]int64, nTr)
+		for i := range traces {
+			rounds := int64(rng.Intn(20) + 1)
+			k := rng.Intn(12)
+			es := make([]simnet.TraceEntry, 0, k)
+			for j := 0; j < k; j++ {
+				es = append(es, simnet.TraceEntry{
+					Round: rng.Int63n(rounds),
+					Edge:  graph.EdgeID(rng.Intn(m)),
+					Dir:   byte(rng.Intn(2)),
+				})
+			}
+			sort.Slice(es, func(a, b int) bool { return es[a].Round < es[b].Round })
+			traces[i] = Trace{Rounds: rounds, Entries: es}
+			delays[i] = rng.Int63n(10)
+		}
+		if got, want := makespan(m, traces, delays), makespanRef(m, traces, delays); got != want {
+			t.Fatalf("iteration %d: makespan %d, reference %d (m=%d, traces=%+v, delays=%v)",
+				it, got, want, m, traces, delays)
+		}
+	}
+}
+
+// TestComposePinned pins the full Compose output (including the seeded
+// random-delay makespan) on a fixed input, guarding the Section 1.1
+// composition numbers across refactors.
+func TestComposePinned(t *testing.T) {
+	a := Trace{Rounds: 6, Entries: []simnet.TraceEntry{
+		{Round: 0, Edge: 0, Dir: 0}, {Round: 2, Edge: 1, Dir: 0}, {Round: 4, Edge: 2, Dir: 1},
+	}, MaxMessageBits: 48}
+	b := Trace{Rounds: 4, Entries: []simnet.TraceEntry{
+		{Round: 0, Edge: 0, Dir: 0}, {Round: 1, Edge: 1, Dir: 0}, {Round: 2, Edge: 2, Dir: 1},
+	}, MaxMessageBits: 32}
+	got := Compose(3, []Trace{a, b}, 42)
+	want := Composition{
+		Dilation:           6,
+		Congestion:         2,
+		MakespanAligned:    7, // horizon 6 + one serialization on edge 0
+		MakespanRandom:     makespanRef(3, []Trace{a, b}, composeDelays(2, 2, 42)),
+		MakespanSequential: 10,
+		MaxMessageBits:     48,
+	}
+	if got != want {
+		t.Fatalf("Compose = %+v, want %+v", got, want)
+	}
+}
+
+// composeDelays replays Compose's seeded delay draw so pins stay honest if
+// the congestion value ever changes.
+func composeDelays(nTraces int, congestion int64, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	span := congestion
+	if span < 1 {
+		span = 1
+	}
+	delays := make([]int64, nTraces)
+	for i := range delays {
+		delays[i] = rng.Int63n(span)
+	}
+	return delays
+}
 
 func TestComposeBasics(t *testing.T) {
 	// Two instances, both using edge 0 in round 0: aligned must serialize

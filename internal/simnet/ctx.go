@@ -7,8 +7,9 @@ import (
 	"dsssp/internal/graph"
 )
 
-// Ctx is a node program's handle to the simulated world. All methods must be
-// called only from the node's own goroutine (the Program invocation).
+// Ctx is a node program's handle to the simulated world. All methods must
+// be called only from within the node's own Program invocation (the node's
+// coroutine); handing a Ctx to another goroutine is not supported.
 type Ctx struct {
 	eng *Engine
 	ns  *nodeState
@@ -72,6 +73,13 @@ func (c *Ctx) SetOutput(v any) { c.ns.output = v }
 
 // Next ends the current round and resumes the node in the next round.
 // It returns the messages received since the previous resume.
+//
+// Ownership: the returned slice is only valid until the node's next
+// receive call (Next, SleepUntil, SleepUntilAtLeast, or WaitMessage) — the
+// engine recycles the backing buffer to keep delivery allocation-free.
+// Consume the messages before yielding again (all in-tree algorithms do);
+// copy them if they must outlive the round. The same rule applies to every
+// method returning []Inbound.
 func (c *Ctx) Next() []Inbound {
 	c.ns.wakeRound++
 	c.yield(yieldRun)
@@ -122,17 +130,23 @@ func (c *Ctx) WaitMessage(deadline int64) []Inbound {
 	return c.take()
 }
 
+// take hands the filled inbox to the program and installs the spare buffer
+// for the engine to fill next. The handed-out slice becomes the spare at
+// the following take, so each buffer is overwritten only after the program
+// has had a full wake cycle to consume it (the ownership rule on Next).
 func (c *Ctx) take() []Inbound {
 	b := c.ns.inbox
-	c.ns.inbox = nil
+	c.ns.inbox = c.ns.spare[:0]
+	c.ns.spare = b
 	return b
 }
 
+// yield switches control back to the engine until the node's next resume —
+// a direct coroutine switch, not a Go-scheduler round trip. A false return
+// from the coroutine yield means the engine shut the run down.
 func (c *Ctx) yield(kind yieldKind) {
 	c.ns.kind = kind
-	c.ns.yield <- struct{}{}
-	<-c.ns.resume
-	if c.eng.killed {
+	if !c.ns.yieldFn(struct{}{}) {
 		panic(errKilled)
 	}
 }

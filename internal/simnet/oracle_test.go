@@ -1,0 +1,180 @@
+package simnet
+
+import (
+	"fmt"
+
+	"dsssp/internal/graph"
+)
+
+// runOracle is a frozen port of the engine's original scheduler — a global
+// (round, id) binary heap popped one entry at a time — kept verbatim as a
+// differential-testing oracle for the bucket-queue scheduler in Run. It
+// shares start, Ctx, and shutdown with the production path, so any
+// divergence in Metrics, Outputs, Trace, or error text is attributable to
+// the scheduler rewrite.
+//
+// Do not "improve" this code: its value is being the old semantics.
+func (e *Engine) runOracle(p Program) (*Result, error) {
+	res := e.start(p)
+	defer e.shutdown()
+
+	n := e.g.N()
+	met := &res.Metrics
+
+	// All nodes wake at round 0.
+	var wh []wakeEntry
+	for i := 0; i < n; i++ {
+		wh = heapPushWake(wh, wakeEntry{0, graph.NodeID(i), 0})
+	}
+
+	halted := 0
+	parked := 0
+	dirLoad := make([]int64, 2*e.g.M())
+	dirSeen := make([]int64, 2*e.g.M())
+	for i := range dirSeen {
+		dirSeen[i] = -1
+	}
+	awakeEpoch := make([]int64, n)
+	for i := range awakeEpoch {
+		awakeEpoch[i] = -1
+	}
+
+	var cur int64 = -1
+	batch := make([]graph.NodeID, 0, n)
+	for halted < n {
+		if len(wh) == 0 {
+			if parked > 0 {
+				return nil, fmt.Errorf("simnet: deadlock at round %d: %d node(s) parked in WaitMessage with no pending wakeups", cur, parked)
+			}
+			return nil, fmt.Errorf("simnet: internal error: no wakeups and %d unhalted nodes", n-halted)
+		}
+		cur = wh[0].round
+		if cur > e.cfg.MaxRounds {
+			return nil, fmt.Errorf("simnet: exceeded MaxRounds=%d", e.cfg.MaxRounds)
+		}
+		batch = batch[:0]
+		for len(wh) > 0 && wh[0].round == cur {
+			var we wakeEntry
+			we, wh = heapPopWake(wh)
+			ns := &e.nodes[we.id]
+			if ns.halted || ns.seq != we.seq {
+				continue // stale entry
+			}
+			if ns.kind == yieldPark {
+				// Deadline expiry of a parked node.
+				ns.kind = yieldRun
+				parked--
+			}
+			batch = append(batch, we.id)
+		}
+		// Resume each awake node in ID order (heap pops give ID order for
+		// equal rounds).
+		for _, id := range batch {
+			ns := &e.nodes[id]
+			awakeEpoch[id] = cur
+			met.PerNodeAwake[id]++
+			met.TotalAwake++
+			ns.wakeRound = cur
+			ns.resume()
+			if ns.perr != nil {
+				ns.halted = true // goroutine has exited
+				return nil, ns.perr
+			}
+			switch ns.kind {
+			case yieldHalt:
+				ns.halted = true
+				halted++
+				res.Outputs[id] = ns.output
+			case yieldPark:
+				parked++
+				if ns.parkDeadline >= 0 {
+					ns.seq++
+					wh = heapPushWake(wh, wakeEntry{ns.parkDeadline, id, ns.seq})
+				}
+			case yieldRun:
+				ns.seq++
+				wh = heapPushWake(wh, wakeEntry{ns.wakeRound, id, ns.seq})
+			}
+		}
+		// Deliver this round's messages in sender-ID order.
+		var maxLoad int64 = 1
+		for _, id := range batch {
+			ns := &e.nodes[id]
+			if len(ns.outbox) == 0 {
+				continue
+			}
+			adj := e.g.Adj(id)
+			for _, om := range ns.outbox {
+				h := adj[om.nbIndex]
+				met.Messages++
+				met.PerEdgeMessages[h.ID]++
+				if e.cfg.MessageBits != nil {
+					b := e.cfg.MessageBits(om.msg)
+					if b > met.MaxMessageBits {
+						met.MaxMessageBits = b
+					}
+					if e.cfg.MaxMessageBits > 0 && b > e.cfg.MaxMessageBits {
+						return nil, fmt.Errorf(
+							"simnet: strict CONGEST violation: node %d sent a %d-bit message (%T) over edge %d in round %d, exceeding the %d-bit budget",
+							id, b, om.msg, h.ID, cur, e.cfg.MaxMessageBits)
+					}
+				}
+				dirBit := int64(0)
+				if id > h.To {
+					dirBit = 1
+				}
+				di := 2*int64(h.ID) + dirBit
+				if dirSeen[di] != cur {
+					dirSeen[di] = cur
+					dirLoad[di] = 0
+				}
+				dirLoad[di]++
+				if dirLoad[di] > maxLoad {
+					maxLoad = dirLoad[di]
+				}
+				if e.cfg.StrictCongest && dirLoad[di] > 1 {
+					return nil, fmt.Errorf("simnet: strict CONGEST violation on edge %d (round %d)", h.ID, cur)
+				}
+				if e.cfg.RecordTrace {
+					res.Trace = append(res.Trace, TraceEntry{cur, h.ID, byte(dirBit)})
+				}
+				dst := &e.nodes[h.To]
+				switch {
+				case dst.halted:
+					met.DroppedAfterHalt++
+				case e.cfg.Model == Sleeping && awakeEpoch[h.To] != cur:
+					met.LostMessages++
+				default:
+					dst.inbox = append(dst.inbox, Inbound{
+						From:    id,
+						NbIndex: int(e.revFlat[e.revOff[id]+int32(om.nbIndex)]),
+						Round:   cur,
+						Msg:     om.msg,
+					})
+					if dst.kind == yieldPark {
+						dst.kind = yieldRun
+						dst.wakeRound = cur + 1
+						dst.seq++
+						parked--
+						wh = heapPushWake(wh, wakeEntry{cur + 1, h.To, dst.seq})
+					}
+				}
+			}
+			ns.outbox = ns.outbox[:0]
+		}
+		met.StrictRounds += maxLoad - 1
+	}
+	met.Rounds = cur + 1
+	met.StrictRounds += met.Rounds
+	for _, c := range met.PerEdgeMessages {
+		if c > met.MaxEdgeMessages {
+			met.MaxEdgeMessages = c
+		}
+	}
+	for _, a := range met.PerNodeAwake {
+		if a > met.MaxAwake {
+			met.MaxAwake = a
+		}
+	}
+	return res, nil
+}

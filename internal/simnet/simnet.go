@@ -3,7 +3,7 @@
 // sleeping-model extension where nodes may sleep and messages sent to a
 // sleeping node are lost (Section 1.2 of the paper).
 //
-// Each node runs a Program in its own goroutine and communicates with the
+// Each node runs a Program in its own coroutine and communicates with the
 // engine through a Ctx. Execution proceeds in lock-step rounds:
 //
 //   - A node is awake in exactly the rounds in which it executes (each
@@ -20,11 +20,28 @@
 // The engine is deterministic: nodes are resumed and their messages
 // delivered in node-ID order, so a run is a pure function of the graph,
 // the program, and the per-node inputs.
+//
+// # Execution core
+//
+// The scheduler is a calendar (bucket) queue: wakes in the near window are
+// O(1) ring-bucket appends, and only far-future SleepUntil/WaitMessage
+// deadlines fall back to a typed binary heap (see wakeQueue). Node programs
+// are iter.Pull coroutines rather than channel-synchronized goroutines, so
+// a resume/yield pair is a direct coroutine switch on the engine's own
+// goroutine — no Go-scheduler round trip, channel locks, or park/unpark —
+// and a node that merely calls Next() on an empty inbox costs little more
+// than a function call. Everything runs on one goroutine, so determinism
+// needs no further argument and Program closures may share state freely.
+//
+// Buffers are pooled across rounds: each node's inbox is double-buffered
+// (see Ctx.Next for the resulting ownership rule), outboxes are reused, and
+// the trace buffer is preallocated from the edge count.
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
+	"iter"
+	"slices"
 
 	"dsssp/internal/graph"
 )
@@ -166,17 +183,28 @@ type outMsg struct {
 }
 
 type nodeState struct {
-	id     graph.NodeID
-	resume chan struct{}
-	yield  chan struct{}
+	id graph.NodeID
 
-	inbox  []Inbound
+	// resume/stop drive the node's iter.Pull coroutine; yieldFn is the
+	// coroutine's yield, stashed so Ctx.yield can switch back to the
+	// engine. yieldFn returning false means the engine called stop — the
+	// node must unwind (Ctx.yield panics errKilled, recovered in the
+	// coroutine wrapper).
+	resume  func() (struct{}, bool)
+	stop    func()
+	yieldFn func(struct{}) bool
+
+	inbox []Inbound
+	// spare is the inbox double-buffer: the slice handed out at the last
+	// take becomes the fill buffer at the next one (see Ctx.take), so
+	// steady-state message delivery stops allocating.
+	spare  []Inbound
 	outbox []outMsg
 
 	kind         yieldKind
 	wakeRound    int64
 	parkDeadline int64 // <0: none
-	seq          int64 // invalidates stale heap entries
+	seq          int64 // invalidates stale queue entries
 	halted       bool
 	output       any
 	perr         error
@@ -187,11 +215,12 @@ type Engine struct {
 	g   *graph.Graph
 	cfg Config
 
-	nodes []*nodeState
-	// rev[u][i] is v's adjacency index of the edge that is u's i-th edge.
-	rev [][]int32
-
-	killed bool
+	nodes []nodeState
+	// revFlat[revOff[u]+i] is the neighbor's adjacency index of the edge
+	// that is u's i-th edge (flat layout; EdgeIDs and adjacency offsets are
+	// dense, so no map is needed).
+	revOff  []int32
+	revFlat []int32
 }
 
 // New creates an engine for one run over g. The graph must have sorted
@@ -210,101 +239,85 @@ func New(g *graph.Graph, cfg Config) *Engine {
 
 func (e *Engine) buildReverseIndex() {
 	g := e.g
-	// For each edge, remember each endpoint's adjacency index.
+	n := g.N()
+	e.revOff = make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		e.revOff[u+1] = e.revOff[u] + int32(g.Degree(graph.NodeID(u)))
+	}
+	e.revFlat = make([]int32, e.revOff[n])
+	// slots[id] remembers the first-seen endpoint of edge id; EdgeIDs are
+	// dense 0..m-1, so a flat slice replaces a map here.
 	type slot struct {
 		u    graph.NodeID
 		iAdj int32
 	}
-	firstSeen := make(map[graph.EdgeID]slot, g.M())
-	e.rev = make([][]int32, g.N())
-	for u := 0; u < g.N(); u++ {
-		e.rev[u] = make([]int32, g.Degree(graph.NodeID(u)))
+	slots := make([]slot, g.M())
+	for i := range slots {
+		slots[i].u = -1
 	}
-	for u := 0; u < g.N(); u++ {
+	for u := 0; u < n; u++ {
+		off := e.revOff[u]
 		for i, h := range g.Adj(graph.NodeID(u)) {
-			if s, ok := firstSeen[h.ID]; ok {
-				e.rev[u][i] = s.iAdj
-				e.rev[s.u][s.iAdj] = int32(i)
+			if s := slots[h.ID]; s.u >= 0 {
+				e.revFlat[off+int32(i)] = s.iAdj
+				e.revFlat[e.revOff[s.u]+s.iAdj] = int32(i)
 			} else {
-				firstSeen[h.ID] = slot{graph.NodeID(u), int32(i)}
+				slots[h.ID] = slot{graph.NodeID(u), int32(i)}
 			}
 		}
 	}
 }
 
-type wakeEntry struct {
-	round int64
-	id    graph.NodeID
-	seq   int64
-}
-
-type wakeHeap []wakeEntry
-
-func (h wakeHeap) Len() int { return len(h) }
-func (h wakeHeap) Less(i, j int) bool {
-	if h[i].round != h[j].round {
-		return h[i].round < h[j].round
+// start allocates the per-node state and wraps every node's program in an
+// iter.Pull coroutine (started lazily at its first resume). Shared by the
+// production scheduler and the frozen oracle scheduler in the tests.
+func (e *Engine) start(p Program) *Result {
+	n := e.g.N()
+	e.nodes = make([]nodeState, n)
+	res := &Result{Outputs: make([]any, n)}
+	res.Metrics.PerEdgeMessages = make([]int64, e.g.M())
+	res.Metrics.PerNodeAwake = make([]int64, n)
+	if e.cfg.RecordTrace {
+		// The paper's algorithms carry polylog messages per edge; a few
+		// multiples of m absorbs the common case without growth cascades.
+		res.Trace = make([]TraceEntry, 0, 4*e.g.M()+16)
 	}
-	return h[i].id < h[j].id
-}
-func (h wakeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *wakeHeap) Push(x interface{}) { *h = append(*h, x.(wakeEntry)) }
-func (h *wakeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	for i := 0; i < n; i++ {
+		ns := &e.nodes[i]
+		ns.id = graph.NodeID(i)
+		ctx := &Ctx{eng: e, ns: ns}
+		ns.resume, ns.stop = iter.Pull(func(yield func(struct{}) bool) {
+			ns.yieldFn = yield
+			defer func() {
+				if r := recover(); r != nil {
+					if r == errKilled {
+						// Engine-initiated shutdown; unwind quietly.
+						return
+					}
+					ns.perr = fmt.Errorf("node %d panicked: %v", ns.id, r)
+				}
+				ns.kind = yieldHalt
+			}()
+			p(ctx)
+		})
+	}
+	return res
 }
 
 // Run executes the program on all nodes until every node halts (or an error
 // such as deadlock, round overflow, or a node panic occurs). Run may be
 // called only once per Engine.
 func (e *Engine) Run(p Program) (*Result, error) {
+	res := e.start(p)
+	defer e.shutdown()
+
 	n := e.g.N()
-	e.nodes = make([]*nodeState, n)
-	res := &Result{
-		Outputs: make([]any, n),
-	}
 	met := &res.Metrics
-	met.PerEdgeMessages = make([]int64, e.g.M())
-	met.PerNodeAwake = make([]int64, n)
-
-	for i := 0; i < n; i++ {
-		ns := &nodeState{
-			id:     graph.NodeID(i),
-			resume: make(chan struct{}),
-			yield:  make(chan struct{}),
-		}
-		e.nodes[i] = ns
-		ctx := &Ctx{eng: e, ns: ns}
-		go func(ns *nodeState, ctx *Ctx) {
-			defer func() {
-				if r := recover(); r != nil {
-					if r == errKilled {
-						// Engine-initiated shutdown; exit quietly
-						// without another yield handshake.
-						return
-					}
-					ns.perr = fmt.Errorf("node %d panicked: %v", ns.id, r)
-				}
-				ns.kind = yieldHalt
-				ns.yield <- struct{}{}
-			}()
-			<-ns.resume
-			if e.killed {
-				panic(errKilled)
-			}
-			p(ctx)
-		}(ns, ctx)
-	}
-
+	q := &wakeQueue{}
 	// All nodes wake at round 0.
-	wh := make(wakeHeap, 0, n)
 	for i := 0; i < n; i++ {
-		wh = append(wh, wakeEntry{0, graph.NodeID(i), 0})
+		q.push(0, graph.NodeID(i), 0)
 	}
-	heap.Init(&wh)
 
 	halted := 0
 	parked := 0
@@ -319,26 +332,24 @@ func (e *Engine) Run(p Program) (*Result, error) {
 		awakeEpoch[i] = -1
 	}
 
-	defer e.shutdown()
-
 	var cur int64 = -1
 	batch := make([]graph.NodeID, 0, n)
 	for halted < n {
-		if wh.Len() == 0 {
+		r, ok := q.next()
+		if !ok {
 			if parked > 0 {
 				return nil, fmt.Errorf("simnet: deadlock at round %d: %d node(s) parked in WaitMessage with no pending wakeups", cur, parked)
 			}
 			return nil, fmt.Errorf("simnet: internal error: no wakeups and %d unhalted nodes", n-halted)
 		}
-		cur = wh[0].round
+		cur = r
 		if cur > e.cfg.MaxRounds {
 			return nil, fmt.Errorf("simnet: exceeded MaxRounds=%d", e.cfg.MaxRounds)
 		}
 		batch = batch[:0]
-		for wh.Len() > 0 && wh[0].round == cur {
-			we := heap.Pop(&wh).(wakeEntry)
-			ns := e.nodes[we.id]
-			if ns.halted || ns.seq != we.seq {
+		for _, bw := range q.take(cur) {
+			ns := &e.nodes[bw.id]
+			if ns.halted || ns.seq != bw.seq {
 				continue // stale entry
 			}
 			if ns.kind == yieldPark {
@@ -346,20 +357,23 @@ func (e *Engine) Run(p Program) (*Result, error) {
 				ns.kind = yieldRun
 				parked--
 			}
-			batch = append(batch, we.id)
+			batch = append(batch, bw.id)
 		}
-		// Resume each awake node in ID order (heap pops give ID order for
-		// equal rounds).
+		// Resume each awake node in ID order (bucket entries arrive in
+		// push order, so sort; singleton batches — the common case — skip
+		// it).
+		if len(batch) > 1 {
+			slices.Sort(batch)
+		}
 		for _, id := range batch {
-			ns := e.nodes[id]
+			ns := &e.nodes[id]
 			awakeEpoch[id] = cur
 			met.PerNodeAwake[id]++
 			met.TotalAwake++
 			ns.wakeRound = cur
-			ns.resume <- struct{}{}
-			<-ns.yield
+			ns.resume()
 			if ns.perr != nil {
-				ns.halted = true // goroutine has exited
+				ns.halted = true // coroutine has exited
 				return nil, ns.perr
 			}
 			switch ns.kind {
@@ -371,21 +385,22 @@ func (e *Engine) Run(p Program) (*Result, error) {
 				parked++
 				if ns.parkDeadline >= 0 {
 					ns.seq++
-					heap.Push(&wh, wakeEntry{ns.parkDeadline, id, ns.seq})
+					q.push(ns.parkDeadline, id, ns.seq)
 				}
 			case yieldRun:
 				ns.seq++
-				heap.Push(&wh, wakeEntry{ns.wakeRound, id, ns.seq})
+				q.push(ns.wakeRound, id, ns.seq)
 			}
 		}
 		// Deliver this round's messages in sender-ID order.
 		var maxLoad int64 = 1
 		for _, id := range batch {
-			ns := e.nodes[id]
+			ns := &e.nodes[id]
 			if len(ns.outbox) == 0 {
 				continue
 			}
 			adj := e.g.Adj(id)
+			rev := e.revFlat[e.revOff[id]:]
 			for _, om := range ns.outbox {
 				h := adj[om.nbIndex]
 				met.Messages++
@@ -420,7 +435,7 @@ func (e *Engine) Run(p Program) (*Result, error) {
 				if e.cfg.RecordTrace {
 					res.Trace = append(res.Trace, TraceEntry{cur, h.ID, byte(dirBit)})
 				}
-				dst := e.nodes[h.To]
+				dst := &e.nodes[h.To]
 				switch {
 				case dst.halted:
 					met.DroppedAfterHalt++
@@ -429,7 +444,7 @@ func (e *Engine) Run(p Program) (*Result, error) {
 				default:
 					dst.inbox = append(dst.inbox, Inbound{
 						From:    id,
-						NbIndex: int(e.rev[id][om.nbIndex]),
+						NbIndex: int(rev[om.nbIndex]),
 						Round:   cur,
 						Msg:     om.msg,
 					})
@@ -438,7 +453,7 @@ func (e *Engine) Run(p Program) (*Result, error) {
 						dst.wakeRound = cur + 1
 						dst.seq++
 						parked--
-						heap.Push(&wh, wakeEntry{cur + 1, h.To, dst.seq})
+						q.push(cur+1, h.To, dst.seq)
 					}
 				}
 			}
@@ -461,29 +476,12 @@ func (e *Engine) Run(p Program) (*Result, error) {
 	return res, nil
 }
 
-// shutdown unblocks and terminates any still-running node goroutines.
+// shutdown terminates any still-live node coroutines: stop makes the
+// coroutine's pending (or next) yield return false, which Ctx.yield turns
+// into an errKilled unwind. Safe on halted and never-started nodes.
 func (e *Engine) shutdown() {
-	e.killed = true
-	for _, ns := range e.nodes {
-		if ns == nil || ns.halted {
-			continue
-		}
-		// The node is blocked waiting for resume (yieldRun/yieldPark) or
-		// has already delivered a halt yield consumed above. Resume it so
-		// it can observe the kill flag and exit.
-	drain:
-		for {
-			select {
-			case ns.resume <- struct{}{}:
-				// It will panic(errKilled) and exit without yielding.
-				break drain
-			case <-ns.yield:
-				if ns.kind == yieldHalt {
-					ns.halted = true
-					break drain
-				}
-			}
-		}
+	for i := range e.nodes {
+		e.nodes[i].stop()
 	}
 }
 
