@@ -4,6 +4,9 @@
 // / message bits and their measured/envelope ratios, and exits nonzero
 // when any scenario regresses beyond the configured thresholds — so CI can
 // compare a fresh sweep against a checked-in baseline and block the merge.
+// The per-phase round breakdowns gate individually too (-phase-threshold):
+// a slowdown localized in one pipeline stage blocks even when the scenario
+// total stays inside -threshold.
 //
 // Usage:
 //
@@ -32,13 +35,15 @@ import (
 
 func main() {
 	var (
-		threshold   = flag.Float64("threshold", 0.10, "max tolerated relative worsening of any envelope ratio (negative disables)")
-		allowFail   = flag.Bool("allow-new-failures", false, "do not gate on scenarios that newly fail verification")
-		failRemoved = flag.Bool("fail-removed", false, "treat scenarios missing from the newer report as regressions")
-		showAll     = flag.Bool("all", false, "list unchanged scenarios too")
-		jsonOut     = flag.String("json", "", "write the machine-readable diff to this file ('-' for stdout)")
-		mdOut       = flag.String("markdown", "-", "write the delta table to this file ('-' for stdout, '' to suppress)")
-		quiet       = flag.Bool("q", false, "suppress the delta table (same as -markdown '')")
+		threshold     = flag.Float64("threshold", 0.10, "max tolerated relative worsening of any envelope ratio (negative disables)")
+		phaseWorsen   = flag.Float64("phase-threshold", 0.25, "max tolerated relative worsening of any per-phase rounds/envelope ratio (negative disables)")
+		phaseMinDelta = flag.Int64("phase-min-delta", 16, "minimum absolute per-phase rounds movement before -phase-threshold gates")
+		allowFail     = flag.Bool("allow-new-failures", false, "do not gate on scenarios that newly fail verification")
+		failRemoved   = flag.Bool("fail-removed", false, "treat scenarios missing from the newer report as regressions")
+		showAll       = flag.Bool("all", false, "list unchanged scenarios too")
+		jsonOut       = flag.String("json", "", "write the machine-readable diff to this file ('-' for stdout)")
+		mdOut         = flag.String("markdown", "-", "write the delta table to this file ('-' for stdout, '' to suppress)")
+		quiet         = flag.Bool("q", false, "suppress the delta table (same as -markdown '')")
 	)
 	flag.Parse()
 	// When stdout carries the machine-readable diff, drop the *default*
@@ -60,6 +65,8 @@ func main() {
 
 	th := benchdiff.Thresholds{
 		EnvelopeWorsen:   *threshold,
+		PhaseWorsen:      *phaseWorsen,
+		PhaseMinDelta:    *phaseMinDelta,
 		AllowNewFailures: *allowFail,
 		FailOnRemoved:    *failRemoved,
 	}

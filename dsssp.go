@@ -96,6 +96,13 @@ type Options struct {
 	// (0 = runtime.NumCPU(); 1 = sequential). SSSP/CSSP/BFS ignore it —
 	// a single simulation is internally concurrent already.
 	Workers int
+	// RecordPhases attaches the per-phase span ledger: on SSSP/CSSP runs
+	// Result.Metrics.Spans breaks the run's rounds/messages/awake rounds
+	// down by pipeline phase and recursion depth (an exact partition of
+	// the totals), and on APSP runs APSPResult.Composition.Spans carries
+	// the ledger merged over all composed instances. Opt-in: the ledger
+	// adds a little engine bookkeeping per message and wake.
+	RecordPhases bool
 }
 
 // resolved validates the options once and normalizes the zero value: a nil
@@ -109,7 +116,7 @@ func (o *Options) resolved() (Model, core.Options, error) {
 		if o.Model != 0 {
 			m = o.Model
 		}
-		copt = core.Options{EpsNum: o.EpsNum, EpsDen: o.EpsDen, MaxRounds: o.MaxRounds, StrictCongest: o.StrictCongest}
+		copt = core.Options{EpsNum: o.EpsNum, EpsDen: o.EpsDen, MaxRounds: o.MaxRounds, StrictCongest: o.StrictCongest, RecordPhases: o.RecordPhases}
 	}
 	switch m {
 	case ModelCongest, ModelSleeping:
@@ -244,7 +251,7 @@ func APSP(g *Graph, opts *Options, seed int64) (*APSPResult, error) {
 			return sched.Trace{}, err
 		}
 		out.Dist[s] = d
-		return sched.Trace{Entries: tr, Rounds: met.Rounds, MaxMessageBits: met.MaxMessageBits}, nil
+		return sched.Trace{Entries: tr, Rounds: met.Rounds, MaxMessageBits: met.MaxMessageBits, Spans: met.Spans}, nil
 	}
 	comp, err := sched.APSPParallel(g, nil, runner, seed, opts.workers())
 	if err != nil {

@@ -89,6 +89,39 @@ func TestAPSPEndToEnd(t *testing.T) {
 	if c.Congestion <= 0 || c.Dilation <= 0 {
 		t.Fatalf("bad composition %+v", c)
 	}
+	if c.Spans != nil {
+		t.Fatalf("span ledger recorded without Options.RecordPhases: %+v", c.Spans)
+	}
+}
+
+// TestAPSPRecordPhases: the public APSP threads each instance's span
+// ledger into the composition, merged over all sources, with the summed
+// message counters conserving against the merged instances.
+func TestAPSPRecordPhases(t *testing.T) {
+	g := graph.RandomConnected(12, 12, graph.UniformWeights(4, 9), 9)
+	res, err := APSP(g, &Options{RecordPhases: true, Workers: 1}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := res.Composition.Spans
+	if len(spans) == 0 {
+		t.Fatal("Options.RecordPhases produced no merged span ledger")
+	}
+	var msgs int64
+	for _, s := range spans {
+		msgs += s.Messages
+	}
+	var want int64
+	for src := 0; src < g.N(); src++ {
+		r, err := SSSP(g, NodeID(src), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += r.Metrics.Messages
+	}
+	if msgs != want {
+		t.Fatalf("merged span messages %d != summed instance messages %d", msgs, want)
+	}
 }
 
 func TestUnknownModelRejected(t *testing.T) {

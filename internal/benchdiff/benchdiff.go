@@ -35,12 +35,25 @@ type Thresholds struct {
 	// from the new one as regressions (a silently dropped workload can
 	// hide a regression). Default false: removals are reported only.
 	FailOnRemoved bool
+	// PhaseWorsen gates the per-phase round breakdown: a pipeline phase
+	// whose rounds/envelope ratio worsens by more than this fraction
+	// regresses the scenario, so a slowdown localized in (say) the cutter
+	// gates even while the scenario total stays inside EnvelopeWorsen.
+	// Negative disables per-phase gating. Phases only carry a ratio where
+	// the scenario claims a rounds envelope (CONGEST pipelines).
+	PhaseWorsen float64
+	// PhaseMinDelta is the minimum absolute per-phase rounds movement
+	// before PhaseWorsen applies: tiny phases (a few rounds) would
+	// otherwise gate on trivially small shifts that the scenario-level
+	// ratio absorbs.
+	PhaseMinDelta int64
 }
 
-// DefaultThresholds is the CI gate configuration: 10% envelope-ratio slack,
+// DefaultThresholds is the CI gate configuration: 10% envelope-ratio slack
+// per scenario, 25% per pipeline phase (at least 16 rounds of movement),
 // new failures and nothing else blocking.
 func DefaultThresholds() Thresholds {
-	return Thresholds{EnvelopeWorsen: 0.10}
+	return Thresholds{EnvelopeWorsen: 0.10, PhaseWorsen: 0.25, PhaseMinDelta: 16}
 }
 
 // Status classifies one aligned scenario.
@@ -270,6 +283,7 @@ func compareOne(or, nr harness.Result, th Thresholds) Delta {
 		}
 		delta.Metrics = append(delta.Metrics, md)
 	}
+	comparePhases(&delta, or, nr, th, &anyChange)
 
 	regressed := len(delta.Reasons) > 0
 	if or.OK && !nr.OK {
@@ -288,4 +302,62 @@ func compareOne(or, nr harness.Result, th Thresholds) Delta {
 		delta.Status = StatusUnchanged
 	}
 	return delta
+}
+
+// comparePhases diffs the per-phase round breakdowns of one aligned
+// scenario pair. Each phase becomes a "phase:<key>" MetricDelta whose ratio
+// is the phase's rounds against the scenario's rounds envelope — the
+// per-phase ratios sum to the scenario's r(rounds), so a slowdown hiding
+// inside one stage (a cutter that doubled while the barrier shrank) gates
+// individually under Thresholds.PhaseWorsen even when the total stays flat.
+func comparePhases(delta *Delta, or, nr harness.Result, th Thresholds, anyChange *bool) {
+	if len(or.Phases) == 0 && len(nr.Phases) == 0 {
+		return
+	}
+	newBy := make(map[string]harness.PhaseStat, len(nr.Phases))
+	for _, p := range nr.Phases {
+		newBy[p.Phase] = p
+	}
+	oldSeen := make(map[string]bool, len(or.Phases))
+	// Old-report phase order first, then phases new to this report — the
+	// same stable alignment Compare uses for scenarios.
+	for _, op := range or.Phases {
+		oldSeen[op.Phase] = true
+		comparePhase(delta, op, newBy[op.Phase], or, nr, th, anyChange)
+	}
+	for _, np := range nr.Phases {
+		if !oldSeen[np.Phase] {
+			comparePhase(delta, harness.PhaseStat{Phase: np.Phase}, np, or, nr, th, anyChange)
+		}
+	}
+}
+
+func comparePhase(delta *Delta, op, np harness.PhaseStat, or, nr harness.Result, th Thresholds, anyChange *bool) {
+	if op.Rounds == 0 && np.Rounds == 0 {
+		return
+	}
+	md := MetricDelta{Metric: "phase:" + op.Phase, Old: op.Rounds, New: np.Rounds, OldRatio: -1, NewRatio: -1}
+	if or.Envelope.Rounds > 0 && nr.Envelope.Rounds > 0 {
+		md.OldRatio = float64(op.Rounds) / float64(or.Envelope.Rounds)
+		md.NewRatio = float64(np.Rounds) / float64(nr.Envelope.Rounds)
+		if md.OldRatio > 0 {
+			md.RelChange = (md.NewRatio - md.OldRatio) / md.OldRatio
+		}
+		minDelta := th.PhaseMinDelta
+		if minDelta < 1 {
+			minDelta = 1
+		}
+		if th.PhaseWorsen >= 0 && md.NewRatio > md.OldRatio*(1+th.PhaseWorsen) && np.Rounds-op.Rounds >= minDelta {
+			md.Regressed = true
+			delta.Reasons = append(delta.Reasons, fmt.Sprintf(
+				"phase %q round share worsened %.4f → %.4f of the rounds envelope (%d → %d rounds, threshold %+.0f%% and ≥%d rounds)",
+				op.Phase, md.OldRatio, md.NewRatio, op.Rounds, np.Rounds, 100*th.PhaseWorsen, minDelta))
+		}
+	} else if op.Rounds > 0 {
+		md.RelChange = float64(np.Rounds-op.Rounds) / float64(op.Rounds)
+	}
+	if op.Rounds != np.Rounds {
+		*anyChange = true
+	}
+	delta.Metrics = append(delta.Metrics, md)
 }

@@ -33,6 +33,11 @@ func WriteMarkdown(w io.Writer, d Diff, changedOnly bool) error {
 	} else {
 		b.WriteString("Gate: envelope ratios not gated; ")
 	}
+	if th := d.Thresholds.PhaseWorsen; th >= 0 {
+		fmt.Fprintf(&b, "per-phase round shares at most %+.0f%% (≥%d rounds moved); ", 100*th, d.Thresholds.PhaseMinDelta)
+	} else {
+		b.WriteString("per-phase round shares not gated; ")
+	}
 	if d.Thresholds.AllowNewFailures {
 		b.WriteString("new verification failures tolerated.\n")
 	} else {

@@ -3,7 +3,9 @@
 // Section 2.3, giving exact SSSP/CSSP in Õ(n) rounds with poly(log n)
 // congestion per edge (Theorems 2.6 and 2.7) in the CONGEST model.
 //
-// The recursion on a subproblem (participants P, source offsets o, bound D):
+// The recursion on a subproblem (participants P, source offsets o, bound D)
+// is an explicit phase pipeline (pipeline.go; phase descriptors in
+// phase.go):
 //
 //  1. D == 1: one exchange round resolves distances in {0, 1} (all weights
 //     are >= 1; zero weights are removed up front by the Theorem 2.7
@@ -26,6 +28,9 @@
 //
 // Every subproblem owns a tag block derived from its recursion path, so
 // messages from drifted sibling components are buffered, never confused.
+// Every pipeline stage reports its round/message/awake/bit spend into the
+// engine's span ledger (simnet.SpanMetrics), keyed by phase and recursion
+// depth; the per-phase counters partition the run's Metrics exactly.
 package core
 
 import (
@@ -50,6 +55,15 @@ type Options struct {
 	// exceeds the O(log n)-bit budget (proto.BitBudget). Congest model
 	// only; metrics then report MaxMessageBits.
 	StrictCongest bool
+	// RecordPhases maintains the engine's span ledger around every
+	// pipeline stage: Metrics.Spans then carries the per-(phase, depth)
+	// round/message/awake/bit breakdown (an exact partition of the run's
+	// totals). Opt-in, like trace recording: the ledger costs a little
+	// bookkeeping in the engine's hot loop. The harness always enables it
+	// (its reports carry the breakdown, so its perf sidecars measure the
+	// instrumented engine); leave it off in micro-benchmarks that want the
+	// bare engine.
+	RecordPhases bool
 }
 
 func (o Options) eps() (int64, int64) {
@@ -57,6 +71,15 @@ func (o Options) eps() (int64, int64) {
 		return 1, 2
 	}
 	return o.EpsNum, o.EpsDen
+}
+
+// validEps resolves the configured ε and rejects values outside (0,1).
+func (o Options) validEps() (int64, int64, error) {
+	epsNum, epsDen := o.eps()
+	if epsNum <= 0 || epsDen <= 0 || epsNum >= epsDen {
+		return 0, 0, fmt.Errorf("core: ε must be in (0,1), got %d/%d", epsNum, epsDen)
+	}
+	return epsNum, epsDen, nil
 }
 
 // Stats reports per-node structural measurements of one run.
@@ -91,6 +114,8 @@ type cssp struct {
 	mb             *proto.Mailbox
 	epsNum, epsDen int64
 	subproblems    int
+	// v supplies the model-sensitive pipeline stages (pipeline.go).
+	v variant
 	// provider supplies per-call covers in the energy variant (energy.go).
 	provider *coverProvider
 }
@@ -113,60 +138,17 @@ type callParams struct {
 
 func (s *cssp) tag(path uint64, off int) uint64 { return path*tagBlock + uint64(off) }
 
-// rec executes one thresholded CSSP subproblem; only participants call it.
-// All participants within one parent component enter at a common round.
-// Returns dist(S,·) if <= d, else graph.Inf.
-func (s *cssp) rec(p callParams) int64 {
-	mb := s.mb
-	c := mb.C
-	s.subproblems++
-	entry := mb.Round()
+// congestVariant instantiates the pipeline's model-sensitive stages for the
+// CONGEST model (Theorems 2.6/2.7): the fragment cutter of Lemma 2.1 and
+// the event-driven convergecast barrier.
+type congestVariant struct{}
 
-	// (1) Participation exchange: learn which neighbors are in this call.
-	for i := 0; i < c.Degree(); i++ {
-		if p.eligible == nil || p.eligible[i] {
-			mb.Send(i, s.tag(p.path, offExch), struct{}{})
-		}
-	}
-	mb.SleepUntil(entry + 1)
-	elig := make([]bool, c.Degree())
-	for _, m := range mb.Take(s.tag(p.path, offExch)) {
-		if p.eligible == nil || p.eligible[m.NbIndex] {
-			elig[m.NbIndex] = true
-		}
-	}
-	eligFn := func(i int) bool { return elig[i] }
+func (congestVariant) cutterPhase() Phase { return PhaseCutter }
 
-	// (2) Base case: distances in {0,1}.
-	if p.d == 1 {
-		d := graph.Inf
-		if p.offset >= 0 && p.offset <= 1 {
-			d = p.offset
-		}
-		if p.offset == 0 {
-			for i := 0; i < c.Degree(); i++ {
-				if elig[i] && c.Weight(i) == 1 {
-					mb.Send(i, s.tag(p.path, offBase), struct{}{})
-				}
-			}
-		}
-		mb.SleepUntil(entry + 2)
-		if len(mb.Take(s.tag(p.path, offBase))) > 0 && d > 1 {
-			d = 1
-		}
-		return d
-	}
+func (congestVariant) register(*cssp, uint64, graph.NodeID) {}
 
-	// (3) Spanning forest of the participant subgraph.
-	fr := forest.Build(mb, forest.Params{
-		Tag:        s.tag(p.path, offForest),
-		StartRound: entry + 1,
-		SizeBound:  p.sizeBound,
-		Eligible:   eligFn,
-	})
-
-	// (4) Approximate cutter (Lemma 2.1) with W = D.
-	approx := bfs.CutterFragment(mb, bfs.CutterParams{
+func (congestVariant) cut(s *cssp, p callParams, entry int64, fr forest.Result, eligFn func(int) bool) int64 {
+	return bfs.CutterFragment(s.mb, bfs.CutterParams{
 		Tag:          s.tag(p.path, offCutter),
 		StartRound:   entry + 1 + forest.Duration(p.sizeBound),
 		W:            p.d,
@@ -176,76 +158,13 @@ func (s *cssp) rec(p callParams) int64 {
 		SourceOffset: p.offset,
 		Eligible:     eligFn,
 	})
-	// V1 membership: dist'(v) <= D + εD (inclusive: the cutter's additive
-	// error bound is <= εW, so inclusion keeps every dist <= D node).
-	inV1 := approx != graph.Inf && approx*s.epsDen <= p.d*(s.epsDen+s.epsNum)
-	d1h := p.d / 2
-
-	// (5) First recursion: (V1, S, D/2).
-	d1 := graph.Inf
-	if inV1 {
-		d1 = s.rec(callParams{
-			path: 2 * p.path, d: d1h, offset: p.offset,
-			sizeBound: fr.Size, eligible: elig,
-		})
-	}
-	proto.Barrier(mb, fr.Tree, s.tag(p.path, offBarrier1), fr.Size, -1)
-
-	// (6) Cut offsets: V2 nodes announce their exact distances; boundary
-	// nodes simulate the imaginary sources X.
-	inV2 := d1 != graph.Inf
-	b := mb.Round()
-	if inV2 {
-		for i := 0; i < c.Degree(); i++ {
-			if elig[i] {
-				mb.Send(i, s.tag(p.path, offV2Exch), d1)
-			}
-		}
-	}
-	mb.SleepUntil(b + 1)
-	offset2 := bfs.NotSource
-	v2Msgs := mb.Take(s.tag(p.path, offV2Exch))
-	if inV1 && !inV2 {
-		for _, m := range v2Msgs {
-			cand := m.Body.(int64) + c.Weight(m.NbIndex) - d1h
-			if cand < 0 {
-				panic(fmt.Sprintf("core: node %d: negative cut offset %d", c.ID(), cand))
-			}
-			if offset2 == bfs.NotSource || cand < offset2 {
-				offset2 = cand
-			}
-		}
-		// An original source whose offset exceeds D/2 seeds paths that
-		// never enter V2; carry it into the second call.
-		if p.offset > d1h {
-			if cand := p.offset - d1h; offset2 == bfs.NotSource || cand < offset2 {
-				offset2 = cand
-			}
-		}
-	}
-
-	// (7) Second recursion: (V1∖V2, X, D/2).
-	d2 := graph.Inf
-	if inV1 && !inV2 {
-		childElig := make([]bool, c.Degree())
-		copy(childElig, elig)
-		d2 = s.rec(callParams{
-			path: 2*p.path + 1, d: d1h, offset: offset2,
-			sizeBound: fr.Size, eligible: childElig,
-		})
-	}
-	proto.Barrier(mb, fr.Tree, s.tag(p.path, offBarrier2), fr.Size, -1)
-
-	// (8) Combine.
-	switch {
-	case inV2:
-		return d1
-	case inV1 && d2 != graph.Inf:
-		return d1h + d2
-	default:
-		return graph.Inf
-	}
 }
+
+func (congestVariant) barrier(s *cssp, fr forest.Result, tag uint64, _ int64) {
+	proto.Barrier(s.mb, fr.Tree, tag, fr.Size, -1)
+}
+
+func (congestVariant) checkOffsets() bool { return true }
 
 // RunCSSPTraced is RunCSSP with per-message trace recording, used by the
 // APSP scheduling composition.
@@ -266,76 +185,37 @@ func RunCSSP(g *graph.Graph, sources map[graph.NodeID]int64, opts Options) ([]in
 }
 
 func runCSSP(g *graph.Graph, sources map[graph.NodeID]int64, opts Options, trace bool) ([]int64, Stats, simnet.Metrics, []simnet.TraceEntry, error) {
-	epsNum, epsDen := opts.eps()
-	if epsNum <= 0 || epsDen <= 0 || epsNum >= epsDen {
-		return nil, Stats{}, simnet.Metrics{}, nil, fmt.Errorf("core: ε must be in (0,1), got %d/%d", epsNum, epsDen)
+	epsNum, epsDen, err := opts.validEps()
+	if err != nil {
+		return nil, Stats{}, simnet.Metrics{}, nil, err
 	}
-	for s, o := range sources {
-		if o < 0 {
-			return nil, Stats{}, simnet.Metrics{}, nil, fmt.Errorf("core: negative offset %d at source %d", o, s)
-		}
-	}
-
-	scale := int64(1)
-	run := g
-	hasZero := false
-	for _, e := range g.Edges() {
-		if e.W == 0 {
-			hasZero = true
-			break
-		}
-	}
-	if hasZero {
-		scale = int64(g.N()) + 1
-		run = g.Reweight(func(_ graph.EdgeID, w int64) int64 {
-			if w == 0 {
-				return 1
-			}
-			return w * scale
-		})
+	pr, err := prepareProblem(g, sortedSources(sources))
+	if err != nil {
+		return nil, Stats{}, simnet.Metrics{}, nil, err
 	}
 
-	// D0 = smallest power of two covering every possible finite distance.
-	var maxOff int64
-	for _, o := range sources {
-		if o*scale > maxOff {
-			maxOff = o * scale
-		}
-	}
-	d0, levels := startThreshold(run, maxOff)
-
-	cfg := simnet.Config{Model: simnet.Congest, MaxRounds: opts.MaxRounds, RecordTrace: trace}
+	cfg := simnet.Config{Model: simnet.Congest, MaxRounds: opts.MaxRounds, RecordTrace: trace, RecordSpans: opts.RecordPhases}
 	if opts.StrictCongest {
 		// The budget covers distance-sized payloads up to n·maxW+maxOff on
 		// the (possibly zero-weight-rescaled) graph the engine actually runs.
 		cfg.MessageBits = proto.MessageBits
-		cfg.MaxMessageBits = proto.BitBudget(run.N(), run.MaxWeight()+maxOff)
+		cfg.MaxMessageBits = proto.BitBudget(pr.run.N(), pr.run.MaxWeight()+pr.maxOff)
 	}
-	eng := simnet.New(run, cfg)
+	eng := simnet.New(pr.run, cfg)
 	res, err := eng.Run(func(c *simnet.Ctx) {
 		mb := proto.NewMailbox(c)
-		st := &cssp{mb: mb, epsNum: epsNum, epsDen: epsDen}
+		st := &cssp{mb: mb, epsNum: epsNum, epsDen: epsDen, v: congestVariant{}}
 		off := bfs.NotSource
 		if o, ok := sources[c.ID()]; ok {
-			off = o * scale
+			off = o * pr.scale
 		}
-		d := st.rec(callParams{path: 1, d: d0, offset: off, sizeBound: int64(c.N())})
+		d := st.runCall(callParams{path: 1, d: pr.d0, offset: off, sizeBound: int64(c.N())})
 		c.SetOutput(output{Dist: d, Subproblems: st.subproblems})
 	})
 	if err != nil {
 		return nil, Stats{}, simnet.Metrics{}, nil, err
 	}
-	dists := make([]int64, g.N())
-	stats := Stats{Subproblems: make([]int, g.N()), Levels: levels}
-	for v, o := range res.Outputs {
-		out := o.(output)
-		if out.Dist == graph.Inf {
-			dists[v] = graph.Inf
-		} else {
-			dists[v] = out.Dist / scale
-		}
-		stats.Subproblems[v] = out.Subproblems
-	}
+	dists, stats := collectOutputs(g, res, pr.scale, pr.levels)
 	return dists, stats, res.Metrics, res.Trace, nil
 }
 

@@ -1,7 +1,8 @@
-// Energy (sleeping-model) variant of the CSSP recursion — Theorem 3.15 and
-// the headline Theorem 1.1: exact SSSP with Õ(n) time and polylogarithmic
-// energy per node. The recursion skeleton is identical to the CONGEST
-// variant (core.go); the model-sensitive pieces are swapped:
+// Energy (sleeping-model) variant of the CSSP phase pipeline — Theorem 3.15
+// and the headline Theorem 1.1: exact SSSP with Õ(n) time and
+// polylogarithmic energy per node. The pipeline skeleton is shared with the
+// CONGEST variant (pipeline.go); the model-sensitive stages are swapped via
+// energyVariant:
 //
 //   - the approximate cutter runs as a thresholded sleeping-model BFS over
 //     the rounded-weight metric (package energybfs), on a layered sparse
@@ -173,60 +174,19 @@ func energyBarrier(mb *proto.Mailbox, t proto.Tree, tag uint64, size, anchor int
 	}
 }
 
-// recEnergy is the sleeping-model recursion; structure mirrors cssp.rec.
-func (s *cssp) recEnergy(p callParams) int64 {
-	mb := s.mb
-	c := mb.C
-	s.subproblems++
-	entry := mb.Round()
+// energyVariant instantiates the pipeline's model-sensitive stages for the
+// sleeping model (Theorem 3.15): the bounded-hop BFS-layer cutter over
+// rounded weights and the count-based periodic barrier.
+type energyVariant struct{}
 
-	// (1) Participation exchange (all participants of one parent component
-	// are awake at the common entry round).
-	s.provider.register(p.path, c.ID())
-	for i := 0; i < c.Degree(); i++ {
-		if p.eligible == nil || p.eligible[i] {
-			mb.Send(i, s.tag(p.path, offExch), struct{}{})
-		}
-	}
-	mb.SleepUntil(entry + 1)
-	elig := make([]bool, c.Degree())
-	for _, m := range mb.Take(s.tag(p.path, offExch)) {
-		if p.eligible == nil || p.eligible[m.NbIndex] {
-			elig[m.NbIndex] = true
-		}
-	}
-	eligFn := func(i int) bool { return elig[i] }
+func (energyVariant) cutterPhase() Phase { return PhaseBFSLayers }
 
-	// (2) Base case.
-	if p.d == 1 {
-		d := graph.Inf
-		if p.offset >= 0 && p.offset <= 1 {
-			d = p.offset
-		}
-		if p.offset == 0 {
-			for i := 0; i < c.Degree(); i++ {
-				if elig[i] && c.Weight(i) == 1 {
-					mb.Send(i, s.tag(p.path, offBase), struct{}{})
-				}
-			}
-		}
-		mb.SleepUntil(entry + 2)
-		if len(mb.Take(s.tag(p.path, offBase))) > 0 && d > 1 {
-			d = 1
-		}
-		return d
-	}
+func (energyVariant) register(s *cssp, path uint64, v graph.NodeID) {
+	s.provider.register(path, v)
+}
 
-	// (3) Spanning forest (Theorem 3.1: already low-energy).
-	fr := forest.Build(mb, forest.Params{
-		Tag:        s.tag(p.path, offForest),
-		StartRound: entry + 1,
-		SizeBound:  p.sizeBound,
-		Eligible:   eligFn,
-	})
-
-	// (4) Approximate cutter via thresholded energy BFS over rounded
-	// weights (Lemma 2.1 + Theorem 3.14).
+func (energyVariant) cut(s *cssp, p callParams, entry int64, fr forest.Result, eligFn func(int) bool) int64 {
+	c := s.mb.C
 	rho := bfs.Rho(p.d, fr.Size, s.epsNum, s.epsDen)
 	threshold := 2*p.d/rho + fr.Size + 1
 	weightR := func(i int) int64 { return bfs.RoundWeight(c.Weight(i), rho) }
@@ -239,7 +199,7 @@ func (s *cssp) recEnergy(p callParams) int64 {
 	} else if p.offset > 0 {
 		offR = bfs.RoundWeight(p.offset, rho)
 	}
-	dr := energybfs.Run(mb, energybfs.Params{
+	dr := energybfs.Run(s.mb, energybfs.Params{
 		Tag:          cutterTag(p.path),
 		StartRound:   entry + 1 + forest.Duration(p.sizeBound),
 		Cover:        cover,
@@ -248,135 +208,50 @@ func (s *cssp) recEnergy(p callParams) int64 {
 		Eligible:     eligFn,
 		WeightOf:     weightR,
 	})
-	approx := graph.Inf
-	if dr != graph.Inf {
-		approx = dr * rho
-	}
-	inV1 := approx != graph.Inf && approx*s.epsDen <= p.d*(s.epsDen+s.epsNum)
-	d1h := p.d / 2
-
-	// (5) First recursion.
-	d1 := graph.Inf
-	if inV1 {
-		d1 = s.recEnergy(callParams{
-			path: 2 * p.path, d: d1h, offset: p.offset,
-			sizeBound: fr.Size, eligible: elig,
-		})
-	}
-	energyBarrier(mb, fr.Tree, s.tag(p.path, offBarrier1), fr.Size, entry)
-
-	// (6) Cut offsets.
-	inV2 := d1 != graph.Inf
-	b := mb.Round()
-	if inV2 {
-		for i := 0; i < c.Degree(); i++ {
-			if elig[i] {
-				mb.Send(i, s.tag(p.path, offV2Exch), d1)
-			}
-		}
-	}
-	mb.SleepUntil(b + 1)
-	offset2 := bfs.NotSource
-	v2Msgs := mb.Take(s.tag(p.path, offV2Exch))
-	if inV1 && !inV2 {
-		for _, m := range v2Msgs {
-			cand := m.Body.(int64) + c.Weight(m.NbIndex) - d1h
-			if offset2 == bfs.NotSource || cand < offset2 {
-				offset2 = cand
-			}
-		}
-		if p.offset > d1h {
-			if cand := p.offset - d1h; offset2 == bfs.NotSource || cand < offset2 {
-				offset2 = cand
-			}
-		}
-	}
-
-	// (7) Second recursion.
-	d2 := graph.Inf
-	if inV1 && !inV2 {
-		d2 = s.recEnergy(callParams{
-			path: 2*p.path + 1, d: d1h, offset: offset2,
-			sizeBound: fr.Size, eligible: elig,
-		})
-	}
-	energyBarrier(mb, fr.Tree, s.tag(p.path, offBarrier2), fr.Size, entry)
-
-	// (8) Combine.
-	switch {
-	case inV2:
-		return d1
-	case inV1 && d2 != graph.Inf:
-		return d1h + d2
-	default:
+	if dr == graph.Inf {
 		return graph.Inf
 	}
+	return dr * rho
 }
+
+func (energyVariant) barrier(s *cssp, fr forest.Result, tag uint64, entry int64) {
+	energyBarrier(s.mb, fr.Tree, tag, fr.Size, entry)
+}
+
+func (energyVariant) checkOffsets() bool { return false }
 
 // RunEnergyCSSP computes exact closest-source distances in the sleeping
 // model (Theorem 3.15): Õ(n) rounds and polylogarithmic awake rounds per
 // node (energy). Zero weights are handled by the same scaling as RunCSSP.
 func RunEnergyCSSP(g *graph.Graph, sources map[graph.NodeID]int64, opts Options) ([]int64, Stats, simnet.Metrics, error) {
-	epsNum, epsDen := opts.eps()
-	if epsNum <= 0 || epsDen <= 0 || epsNum >= epsDen {
-		return nil, Stats{}, simnet.Metrics{}, fmt.Errorf("core: ε must be in (0,1), got %d/%d", epsNum, epsDen)
+	epsNum, epsDen, err := opts.validEps()
+	if err != nil {
+		return nil, Stats{}, simnet.Metrics{}, err
 	}
 	if opts.StrictCongest {
 		return nil, Stats{}, simnet.Metrics{}, fmt.Errorf("core: StrictCongest applies to the CONGEST model, not the sleeping model")
 	}
-	for s, o := range sources {
-		if o < 0 {
-			return nil, Stats{}, simnet.Metrics{}, fmt.Errorf("core: negative offset %d at source %d", o, s)
-		}
+	pr, err := prepareProblem(g, sortedSources(sources))
+	if err != nil {
+		return nil, Stats{}, simnet.Metrics{}, err
 	}
-	scale := int64(1)
-	run := g
-	for _, e := range g.Edges() {
-		if e.W == 0 {
-			scale = int64(g.N()) + 1
-			run = g.Reweight(func(_ graph.EdgeID, w int64) int64 {
-				if w == 0 {
-					return 1
-				}
-				return w * scale
-			})
-			break
-		}
-	}
-	var maxOff int64
-	for _, o := range sources {
-		if o*scale > maxOff {
-			maxOff = o * scale
-		}
-	}
-	d0, levels := startThreshold(run, maxOff)
 
-	provider := newCoverProvider(run)
-	eng := simnet.New(run, simnet.Config{Model: simnet.Sleeping, MaxRounds: opts.MaxRounds})
+	provider := newCoverProvider(pr.run)
+	eng := simnet.New(pr.run, simnet.Config{Model: simnet.Sleeping, MaxRounds: opts.MaxRounds, RecordSpans: opts.RecordPhases})
 	res, err := eng.Run(func(c *simnet.Ctx) {
 		mb := proto.NewMailbox(c)
-		st := &cssp{mb: mb, epsNum: epsNum, epsDen: epsDen, provider: provider}
+		st := &cssp{mb: mb, epsNum: epsNum, epsDen: epsDen, v: energyVariant{}, provider: provider}
 		off := bfs.NotSource
 		if o, ok := sources[c.ID()]; ok {
-			off = o * scale
+			off = o * pr.scale
 		}
-		d := st.recEnergy(callParams{path: 1, d: d0, offset: off, sizeBound: int64(c.N())})
+		d := st.runCall(callParams{path: 1, d: pr.d0, offset: off, sizeBound: int64(c.N())})
 		c.SetOutput(output{Dist: d, Subproblems: st.subproblems})
 	})
 	if err != nil {
 		return nil, Stats{}, simnet.Metrics{}, err
 	}
-	dists := make([]int64, g.N())
-	stats := Stats{Subproblems: make([]int, g.N()), Levels: levels}
-	for v, o := range res.Outputs {
-		out := o.(output)
-		if out.Dist == graph.Inf {
-			dists[v] = graph.Inf
-		} else {
-			dists[v] = out.Dist / scale
-		}
-		stats.Subproblems[v] = out.Subproblems
-	}
+	dists, stats := collectOutputs(g, res, pr.scale, pr.levels)
 	return dists, stats, res.Metrics, nil
 }
 

@@ -42,19 +42,24 @@ func TestGoldenReports(t *testing.T) {
 			t.Fatal(err)
 		}
 		rep := BuildReport("golden", true, results)
-		var js, md bytes.Buffer
+		var js, md, bd bytes.Buffer
 		if err := WriteJSON(&js, rep); err != nil {
 			t.Fatal(err)
 		}
 		if err := WriteMarkdown(&md, rep); err != nil {
 			t.Fatal(err)
 		}
+		if err := WriteBreakdownMarkdown(&bd, rep); err != nil {
+			t.Fatal(err)
+		}
 		if parallel == 1 && *updateGolden {
 			writeGolden(t, "golden_report.json", js.Bytes())
 			writeGolden(t, "golden_report.md", md.Bytes())
+			writeGolden(t, "golden_breakdown.md", bd.Bytes())
 		}
 		compareGolden(t, "golden_report.json", js.Bytes(), parallel)
 		compareGolden(t, "golden_report.md", md.Bytes(), parallel)
+		compareGolden(t, "golden_breakdown.md", bd.Bytes(), parallel)
 	}
 }
 

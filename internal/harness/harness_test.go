@@ -291,7 +291,7 @@ func TestAPSPInnerPoolDeterministic(t *testing.T) {
 	if seq.Err != "" || par.Err != "" {
 		t.Fatalf("errors: %q %q", seq.Err, par.Err)
 	}
-	if seq != par {
+	if !reflect.DeepEqual(seq, par) {
 		t.Fatalf("inner pool changed the result:\nseq: %+v\npar: %+v", seq, par)
 	}
 }

@@ -60,6 +60,12 @@ type Result struct {
 	MakespanRandom     int64 `json:"makespan_random,omitempty"`
 	MakespanSequential int64 `json:"makespan_sequential,omitempty"`
 
+	// Phases is the per-phase breakdown of the run (CSSP-pipeline
+	// algorithms only): where the rounds, messages, and awake rounds went,
+	// stage by stage. The counters partition the scenario-level metrics
+	// exactly — see PhaseStat.
+	Phases []PhaseStat `json:"phases,omitempty"`
+
 	// Envelope is the paper's predicted bound for this scenario; compare
 	// the measured columns against it across PRs.
 	Envelope Envelope `json:"envelope"`
@@ -221,7 +227,10 @@ func executeUnvalidated(s Scenario) (r Result) {
 	}()
 	g := s.BuildGraph()
 	r.N, r.M = g.N(), g.M()
-	copt := core.Options{EpsNum: s.EpsNum, EpsDen: s.EpsDen, StrictCongest: s.Strict}
+	// RecordPhases: every pipeline scenario reports its per-phase
+	// breakdown (Result.Phases); the ledger's cost is engine bookkeeping
+	// only and never moves the model-level metrics.
+	copt := core.Options{EpsNum: s.EpsNum, EpsDen: s.EpsDen, StrictCongest: s.Strict, RecordPhases: true}
 
 	switch s.Alg {
 	case AlgSSSP, AlgCSSP:
@@ -311,7 +320,7 @@ func executeUnvalidated(s Scenario) (r Result) {
 			}
 			totalMsg += met.Messages
 			mu.Unlock()
-			return sched.Trace{Entries: tr, Rounds: met.Rounds, MaxMessageBits: met.MaxMessageBits}, nil
+			return sched.Trace{Entries: tr, Rounds: met.Rounds, MaxMessageBits: met.MaxMessageBits, Spans: met.Spans}, nil
 		}
 		comp, err := sched.APSPParallel(g, nil, runner, s.Seed, workers)
 		if err != nil {
@@ -320,6 +329,10 @@ func executeUnvalidated(s Scenario) (r Result) {
 		}
 		r.Rounds, r.MaxEdgeMessages, r.Messages = maxR, maxEdge, totalMsg
 		r.MaxMessageBits = comp.MaxMessageBits
+		// Phases merged over all composed instances: the summed counters
+		// (messages, awake) and the bit maximum tie back to the scenario
+		// totals; rounds are per-instance sums, not the heaviest instance.
+		r.Phases = phasesFromSpans(comp.Spans)
 		r.Dilation, r.Congestion = comp.Dilation, comp.Congestion
 		r.MakespanAligned, r.MakespanRandom = comp.MakespanAligned, comp.MakespanRandom
 		r.MakespanSequential = comp.MakespanSequential
@@ -345,6 +358,7 @@ func fillMetrics(r *Result, met simnet.Metrics) {
 	r.Rounds, r.StrictRounds, r.Messages = met.Rounds, met.StrictRounds, met.Messages
 	r.MaxEdgeMessages, r.MaxAwake, r.TotalAwake = met.MaxEdgeMessages, met.MaxAwake, met.TotalAwake
 	r.MaxMessageBits = met.MaxMessageBits
+	r.Phases = phasesFromSpans(met.Spans)
 }
 
 func maxSub(st core.Stats) int {

@@ -37,6 +37,10 @@ type Trace struct {
 	// composition needs every instance inside the O(log n)-bit budget —
 	// the scheduling theorem serializes rounds, never splits messages.
 	MaxMessageBits int64
+	// Spans is the instance's span ledger (nil when the runner did not
+	// record spans): the per-phase breakdown of the rounds and messages
+	// the instance contributes to the composition.
+	Spans []simnet.SpanMetrics
 }
 
 // Composition is the result of scheduling a set of traces together.
@@ -54,6 +58,11 @@ type Composition struct {
 	// MaxMessageBits is the largest message any instance sent (0 when the
 	// traces carry no measurement).
 	MaxMessageBits int64
+	// Spans is the merged span ledger of all instances (nil when the
+	// traces carry none): per-phase rounds/messages/awake sums and bit
+	// maxima across every composed instance, so the APSP report can break
+	// its totals down by pipeline phase like the single-source runs do.
+	Spans []simnet.SpanMetrics
 }
 
 // Compose computes the composition metrics for the given traces over a
@@ -62,6 +71,7 @@ type Composition struct {
 func Compose(m int, traces []Trace, seed int64) Composition {
 	var comp Composition
 	perEdge := make([]int64, m)
+	spanLists := make([][]simnet.SpanMetrics, 0, len(traces))
 	for _, tr := range traces {
 		if tr.Rounds > comp.Dilation {
 			comp.Dilation = tr.Rounds
@@ -70,10 +80,14 @@ func Compose(m int, traces []Trace, seed int64) Composition {
 			comp.MaxMessageBits = tr.MaxMessageBits
 		}
 		comp.MakespanSequential += tr.Rounds
+		if len(tr.Spans) > 0 {
+			spanLists = append(spanLists, tr.Spans)
+		}
 		for _, e := range tr.Entries {
 			perEdge[e.Edge]++
 		}
 	}
+	comp.Spans = simnet.MergeSpans(spanLists...)
 	for _, c := range perEdge {
 		if c > comp.Congestion {
 			comp.Congestion = c

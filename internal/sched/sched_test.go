@@ -2,6 +2,7 @@ package sched
 
 import (
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 
@@ -132,7 +133,7 @@ func TestComposePinned(t *testing.T) {
 		MakespanSequential: 10,
 		MaxMessageBits:     48,
 	}
-	if got != want {
+	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("Compose = %+v, want %+v", got, want)
 	}
 }

@@ -56,7 +56,11 @@ func (c *Ctx) Send(i int, msg any) {
 	if i < 0 || i >= c.Degree() {
 		panic(fmt.Sprintf("simnet: node %d: Send to invalid neighbor index %d (degree %d)", c.ns.id, i, c.Degree()))
 	}
-	c.ns.outbox = append(c.ns.outbox, outMsg{nbIndex: i, msg: msg})
+	om := outMsg{nbIndex: i, msg: msg}
+	if c.eng.cfg.RecordSpans {
+		om.span = c.ns.curSpan()
+	}
+	c.ns.outbox = append(c.ns.outbox, om)
 }
 
 // SendID sends to neighbor v (panics if v is not adjacent).

@@ -94,6 +94,11 @@ type Config struct {
 	// callers derive the concrete budget from the graph (see
 	// proto.BitBudget).
 	MaxMessageBits int64
+	// RecordSpans maintains the span ledger (see span.go): programs may
+	// open/close named spans via Ctx, and the engine attributes every
+	// round, message, awake round, and message bit measurement to exactly
+	// one open span, reported in Metrics.Spans.
+	RecordSpans bool
 }
 
 // Inbound is a received message.
@@ -145,6 +150,10 @@ type Metrics struct {
 	PerEdgeMessages []int64
 	// PerNodeAwake holds awake rounds per node.
 	PerNodeAwake []int64
+	// Spans is the span ledger in first-open order (only when
+	// Config.RecordSpans): Rounds/Messages/AwakeRounds partition the
+	// corresponding totals above, MaxMessageBits is a per-span maximum.
+	Spans []SpanMetrics
 }
 
 func (m *Metrics) String() string {
@@ -179,7 +188,11 @@ const (
 
 type outMsg struct {
 	nbIndex int
-	msg     any
+	// span is the sender's open span at Send time (0 unless
+	// Config.RecordSpans) — message attribution must not shift when a node
+	// switches phases between sending and the end-of-round flush.
+	span int32
+	msg  any
 }
 
 type nodeState struct {
@@ -208,6 +221,10 @@ type nodeState struct {
 	halted       bool
 	output       any
 	perr         error
+
+	// spanStack holds the node's open ledger spans (innermost last); empty
+	// means the root span. Unused unless Config.RecordSpans.
+	spanStack []int32
 }
 
 // Engine executes one Program on every node of a graph.
@@ -221,6 +238,11 @@ type Engine struct {
 	// dense, so no map is needed).
 	revOff  []int32
 	revFlat []int32
+
+	// Span ledger (Config.RecordSpans): interned (name, depth) spans and
+	// their counters; index 0 is the root span every node starts in.
+	spanIDs map[spanKey]int32
+	spans   []SpanMetrics
 }
 
 // New creates an engine for one run over g. The graph must have sorted
@@ -282,6 +304,10 @@ func (e *Engine) start(p Program) *Result {
 		// multiples of m absorbs the common case without growth cascades.
 		res.Trace = make([]TraceEntry, 0, 4*e.g.M()+16)
 	}
+	if e.cfg.RecordSpans {
+		e.spanIDs = make(map[spanKey]int32)
+		e.internSpan(RootSpanName, 0)
+	}
 	for i := 0; i < n; i++ {
 		ns := &e.nodes[i]
 		ns.id = graph.NodeID(i)
@@ -333,6 +359,7 @@ func (e *Engine) Run(p Program) (*Result, error) {
 	}
 
 	var cur int64 = -1
+	spanPrev := int64(-1) // last round whose elapsed interval was attributed
 	batch := make([]graph.NodeID, 0, n)
 	for halted < n {
 		r, ok := q.next()
@@ -365,11 +392,21 @@ func (e *Engine) Run(p Program) (*Result, error) {
 		if len(batch) > 1 {
 			slices.Sort(batch)
 		}
+		// Attribute the elapsed interval ending at this round to the span
+		// of the earliest-resumed node (see span.go: the rule that makes
+		// per-span rounds an exact partition of Metrics.Rounds).
+		if e.cfg.RecordSpans && len(batch) > 0 {
+			e.spans[e.nodes[batch[0]].curSpan()].Rounds += cur - spanPrev
+			spanPrev = cur
+		}
 		for _, id := range batch {
 			ns := &e.nodes[id]
 			awakeEpoch[id] = cur
 			met.PerNodeAwake[id]++
 			met.TotalAwake++
+			if e.cfg.RecordSpans {
+				e.spans[ns.curSpan()].AwakeRounds++
+			}
 			ns.wakeRound = cur
 			ns.resume()
 			if ns.perr != nil {
@@ -405,10 +442,16 @@ func (e *Engine) Run(p Program) (*Result, error) {
 				h := adj[om.nbIndex]
 				met.Messages++
 				met.PerEdgeMessages[h.ID]++
+				if e.cfg.RecordSpans {
+					e.spans[om.span].Messages++
+				}
 				if e.cfg.MessageBits != nil {
 					b := e.cfg.MessageBits(om.msg)
 					if b > met.MaxMessageBits {
 						met.MaxMessageBits = b
+					}
+					if e.cfg.RecordSpans && b > e.spans[om.span].MaxMessageBits {
+						e.spans[om.span].MaxMessageBits = b
 					}
 					if e.cfg.MaxMessageBits > 0 && b > e.cfg.MaxMessageBits {
 						return nil, fmt.Errorf(
@@ -472,6 +515,9 @@ func (e *Engine) Run(p Program) (*Result, error) {
 		if a > met.MaxAwake {
 			met.MaxAwake = a
 		}
+	}
+	if e.cfg.RecordSpans {
+		met.Spans = e.spans
 	}
 	return res, nil
 }
