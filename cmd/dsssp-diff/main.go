@@ -15,9 +15,13 @@
 //	dsssp-diff -all old.json new.json             # include unchanged rows
 //	dsssp-diff -json - old.json new.json          # machine-readable diff
 //	dsssp-diff a.json b.json c.json               # chain: a→b, then b→c
+//	dsssp-diff -trend trend.md a.json b.json c.json  # + ratio time series
 //
 // A chain writes one labeled markdown section per pair; -json emits a
-// single Diff object for one pair and a JSON array for a chain.
+// single Diff object for one pair and a JSON array for a chain. -trend
+// renders the whole chain as one history-aware table — per-scenario and
+// per-phase measured/envelope ratio series with end-to-end drift (the same
+// view a running dsssp-serve exposes at /v1/trends).
 //
 // Exit status: 0 when every comparison passes, 1 on a regression, 2 on a
 // usage or input error.
@@ -43,6 +47,7 @@ func main() {
 		showAll       = flag.Bool("all", false, "list unchanged scenarios too")
 		jsonOut       = flag.String("json", "", "write the machine-readable diff to this file ('-' for stdout)")
 		mdOut         = flag.String("markdown", "-", "write the delta table to this file ('-' for stdout, '' to suppress)")
+		trendOut      = flag.String("trend", "", "write the chain's trend table (ratio time series over all reports) to this file ('-' for stdout)")
 		quiet         = flag.Bool("q", false, "suppress the delta table (same as -markdown '')")
 	)
 	flag.Parse()
@@ -108,6 +113,20 @@ func main() {
 				}
 			}
 			return nil
+		}); err != nil {
+			die(2, err)
+		}
+	}
+	if *trendOut != "" {
+		// The trend is the thin chaining view: the same reports, rendered
+		// as ratio time series instead of pairwise deltas. Report paths
+		// double as the column labels.
+		trend, err := benchdiff.Chain(reports, paths, th)
+		if err != nil {
+			die(2, err)
+		}
+		if err := writeTo(*trendOut, func(f *os.File) error {
+			return benchdiff.WriteTrendMarkdown(f, trend)
 		}); err != nil {
 			die(2, err)
 		}

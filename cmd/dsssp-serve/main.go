@@ -1,0 +1,145 @@
+// Command dsssp-serve is the long-running serving daemon over the dsssp
+// stack: an HTTP API answering SSSP/APSP/path queries from a bounded
+// worker pool behind a content-addressed result cache, running scenario
+// sweeps as cancellable async jobs whose reports accumulate in an
+// append-only history directory, and serving history-aware bench trends
+// chained through the same machinery as cmd/dsssp-diff.
+//
+// Usage:
+//
+//	dsssp-serve                             # serve on :8080, history in ./dsssp-history
+//	dsssp-serve -addr :9000 -history /var/lib/dsssp -cache-bytes 268435456
+//	dsssp-serve -rev $(git rev-parse --short HEAD)   # label stored reports
+//	dsssp-serve -load http://localhost:8080          # hammer a running server
+//
+// Endpoints:
+//
+//	POST   /v1/sssp        exact SSSP (graph inline or by generator spec)
+//	POST   /v1/apsp        all-pairs via the Section 1.1 composition
+//	POST   /v1/path        distance + one shortest path source→target
+//	POST   /v1/sweeps      submit an async scenario sweep → job ID
+//	GET    /v1/sweeps      list jobs; GET /v1/sweeps/{id} live progress
+//	DELETE /v1/sweeps/{id} cancel a job
+//	GET    /v1/trends      envelope-ratio time series over stored reports
+//	GET    /v1/stats       cache hit/miss, job counts, history size
+//	GET    /healthz        liveness
+//
+// The process shuts down cleanly on SIGINT/SIGTERM: the listener drains,
+// running sweep jobs are cancelled (partial sweeps are not stored), and
+// the exit status is 0 — which is what the CI smoke job asserts.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dsssp/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		history    = flag.String("history", "dsssp-history", "append-only bench history directory")
+		cacheBytes = flag.Int64("cache-bytes", 64<<20, "result cache byte budget")
+		workers    = flag.Int("workers", 0, "query worker pool size (0 = NumCPU)")
+		sweeps     = flag.Int("max-sweeps", 1, "sweep jobs allowed to run concurrently")
+		rev        = flag.String("rev", "", "git revision label for stored reports (default: git rev-parse --short HEAD, else \"unknown\")")
+		maxN       = flag.Int("max-n", 4096, "largest accepted graph size")
+		load       = flag.String("load", "", "run the service-load workload against this base URL instead of serving")
+		loadReqs   = flag.Int("load-requests", 200, "service-load: total requests")
+		loadConc   = flag.Int("load-concurrency", 8, "service-load: concurrent clients")
+		loadGraphs = flag.Int("load-graphs", 4, "service-load: distinct graphs (requests >> graphs ⇒ cache-hit steady state)")
+		loadN      = flag.Int("load-n", 48, "service-load: graph size")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *load != "" {
+		runLoad(ctx, *load, service.LoadOptions{
+			Concurrency: *loadConc, Requests: *loadReqs, Graphs: *loadGraphs, N: *loadN,
+		})
+		return
+	}
+
+	if *rev == "" {
+		*rev = gitRev()
+	}
+	srv, err := service.New(service.Config{
+		HistoryDir:          *history,
+		CacheBytes:          *cacheBytes,
+		Workers:             *workers,
+		MaxConcurrentSweeps: *sweeps,
+		Rev:                 *rev,
+		MaxN:                *maxN,
+	})
+	if err != nil {
+		die(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "dsssp-serve: listening on %s (history %s, rev %s)\n", *addr, srv.Store().Dir(), *rev)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		die(err) // the listener failed outright (port taken, …)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests (bounded),
+	// then cancel sweep jobs and wait for their goroutines.
+	fmt.Fprintln(os.Stderr, "dsssp-serve: signal received, shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "dsssp-serve: draining listener: %v\n", err)
+	}
+	srv.Close()
+	fmt.Fprintln(os.Stderr, "dsssp-serve: clean shutdown")
+}
+
+// runLoad drives the service-load workload and prints the JSON report.
+func runLoad(ctx context.Context, baseURL string, opt service.LoadOptions) {
+	rep, err := service.RunLoad(ctx, nil, strings.TrimRight(baseURL, "/"), opt)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		die(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
+	fmt.Fprintf(os.Stderr, "dsssp-serve: load: %d requests, %.0f%% cache hits, %.1f req/s, %d errors\n",
+		rep.Requests, 100*rep.HitRate, rep.RPS, rep.Errors)
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// gitRev best-effort resolves the working tree's short revision for
+// labeling stored reports; services deployed from tarballs pass -rev.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "dsssp-serve:", err)
+	os.Exit(1)
+}

@@ -72,7 +72,11 @@ type NodeID = graph.NodeID
 // Graph re-exports the weighted undirected graph type.
 type Graph = graph.Graph
 
-// NewGraph returns an empty graph with n nodes.
+// NewGraph returns an empty graph with n nodes. Graphs are simple:
+// re-adding an existing edge {u,v} keeps the minimum of the weights and
+// returns the existing edge ID instead of growing the graph (see
+// Graph.AddEdge), so a graph is a pure function of its edge set — the
+// property the serving layer's content-addressed result cache keys on.
 func NewGraph(n int) *Graph { return graph.New(n) }
 
 // Metrics re-exports the simulator's complexity measures: Rounds (time),

@@ -232,16 +232,21 @@ func compareOne(or, nr harness.Result, th Thresholds) Delta {
 		return delta
 	}
 
-	metrics := []struct {
+	type metricPair struct {
 		name     string
 		old, new int64
 		oldEnv   int64
 		newEnv   int64
-	}{
-		{"rounds", or.Rounds, nr.Rounds, or.Envelope.Rounds, nr.Envelope.Rounds},
-		{"congestion", or.MaxEdgeMessages, nr.MaxEdgeMessages, or.Envelope.Congestion, nr.Envelope.Congestion},
-		{"awake", or.MaxAwake, nr.MaxAwake, or.Envelope.MaxAwake, nr.Envelope.MaxAwake},
-		{"bits", or.MaxMessageBits, nr.MaxMessageBits, or.Envelope.MessageBits, nr.Envelope.MessageBits},
+	}
+	var metrics []metricPair
+	// The enveloped (gateable) metrics come from the shared vocabulary the
+	// trend chain uses too, so pairwise gating and N-report series can
+	// never drift apart.
+	oldEnv, newEnv := envelopedMetrics(or), envelopedMetrics(nr)
+	for i := range oldEnv {
+		metrics = append(metrics, metricPair{oldEnv[i].name, oldEnv[i].value, newEnv[i].value, oldEnv[i].env, newEnv[i].env})
+	}
+	metrics = append(metrics, []metricPair{
 		{"messages", or.Messages, nr.Messages, 0, 0},
 		// Un-enveloped metrics still participate in change detection, so a
 		// drifted baseline is flagged (and TestBaselineCurrent forces a
@@ -256,7 +261,7 @@ func compareOne(or, nr harness.Result, th Thresholds) Delta {
 		{"makespan_aligned", or.MakespanAligned, nr.MakespanAligned, 0, 0},
 		{"makespan_random", or.MakespanRandom, nr.MakespanRandom, 0, 0},
 		{"makespan_sequential", or.MakespanSequential, nr.MakespanSequential, 0, 0},
-	}
+	}...)
 	anyChange := false
 	for _, m := range metrics {
 		if m.old == 0 && m.new == 0 {

@@ -28,13 +28,22 @@ type Half struct {
 	ID EdgeID
 }
 
-// Graph is an undirected weighted multigraph (self-loops are rejected;
-// parallel edges are permitted but the generators never produce them).
+// Graph is an undirected weighted simple graph (self-loops are rejected;
+// duplicate edges canonicalize under the keep-min policy — see AddEdge).
 // The zero value is an empty graph; use New.
 type Graph struct {
 	n   int
 	m   int
 	adj [][]Half
+	// index maps a canonical endpoint pair (min<<32 | max) to its EdgeID,
+	// so AddEdge can detect duplicates in O(1) and the keep-min policy is
+	// cheap enough to be unconditional. The map insert taxes every
+	// AddEdge, including generator paths that never produce duplicates —
+	// a deliberate trade: graph construction is noise next to the
+	// simulations run on the graph, and an unconditional policy is what
+	// makes a Graph a pure function of its edge set (the serving layer's
+	// cache-keying invariant) with no "trusted builder" carve-outs.
+	index map[uint64]EdgeID
 }
 
 // New returns an empty graph with n nodes and no edges.
@@ -42,7 +51,14 @@ func New(n int) *Graph {
 	if n < 0 {
 		panic("graph: negative node count")
 	}
-	return &Graph{n: n, adj: make([][]Half, n)}
+	return &Graph{n: n, adj: make([][]Half, n), index: make(map[uint64]EdgeID)}
+}
+
+func pairKey(u, v NodeID) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
 }
 
 // N returns the number of nodes.
@@ -53,6 +69,14 @@ func (g *Graph) M() int { return g.m }
 
 // AddEdge inserts an undirected edge {u,v} with weight w and returns its
 // EdgeID. Weights must be non-negative. Self-loops are rejected.
+//
+// Duplicate edges canonicalize under the keep-min policy: adding {u,v} when
+// the pair already exists keeps the minimum of the two weights on the
+// existing edge and returns the existing EdgeID — M() does not grow. The
+// policy makes a graph a pure function of its edge *set* (insertion
+// multiplicity never changes distances, and min is the only merge under
+// which shortest paths are preserved), which is what lets the serving
+// layer's content-addressed cache key on a canonical edge list.
 func (g *Graph) AddEdge(u, v NodeID, w int64) EdgeID {
 	if u == v {
 		panic(fmt.Sprintf("graph: self-loop at node %d", u))
@@ -63,11 +87,30 @@ func (g *Graph) AddEdge(u, v NodeID, w int64) EdgeID {
 	if w < 0 {
 		panic(fmt.Sprintf("graph: negative weight %d on edge {%d,%d}", w, u, v))
 	}
+	if g.index == nil {
+		g.index = make(map[uint64]EdgeID)
+	}
+	key := pairKey(u, v)
+	if id, dup := g.index[key]; dup {
+		g.setWeightIfLess(u, id, w)
+		g.setWeightIfLess(v, id, w)
+		return id
+	}
 	id := EdgeID(g.m)
+	g.index[key] = id
 	g.adj[u] = append(g.adj[u], Half{To: v, W: w, ID: id})
 	g.adj[v] = append(g.adj[v], Half{To: u, W: w, ID: id})
 	g.m++
 	return id
+}
+
+// setWeightIfLess lowers the weight of u's half of edge id to w if smaller.
+func (g *Graph) setWeightIfLess(u NodeID, id EdgeID, w int64) {
+	for i := range g.adj[u] {
+		if g.adj[u][i].ID == id && w < g.adj[u][i].W {
+			g.adj[u][i].W = w
+		}
+	}
 }
 
 // Adj returns the adjacency list of u. The returned slice is owned by the
@@ -145,9 +188,12 @@ type EdgeTriple struct {
 
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
-	ng := &Graph{n: g.n, m: g.m, adj: make([][]Half, g.n)}
+	ng := &Graph{n: g.n, m: g.m, adj: make([][]Half, g.n), index: make(map[uint64]EdgeID, len(g.index))}
 	for u := range g.adj {
 		ng.adj[u] = append([]Half(nil), g.adj[u]...)
+	}
+	for k, id := range g.index {
+		ng.index[k] = id
 	}
 	return ng
 }
@@ -186,6 +232,7 @@ func (g *Graph) Validate() error {
 	if total != 2*g.m {
 		return fmt.Errorf("half count %d != 2m (m=%d)", total, g.m)
 	}
+	pairs := make(map[uint64]EdgeID, len(halves))
 	for id, ds := range halves {
 		if len(ds) != 2 {
 			return fmt.Errorf("edge %d has %d halves", id, len(ds))
@@ -197,6 +244,11 @@ func (g *Graph) Validate() error {
 		if a.w != b.w {
 			return fmt.Errorf("edge %d: halves disagree on weight (%d vs %d)", id, a.w, b.w)
 		}
+		key := pairKey(a.u, a.v)
+		if other, dup := pairs[key]; dup {
+			return fmt.Errorf("edges %d and %d duplicate the pair {%d,%d} — AddEdge's keep-min policy should have merged them", other, id, a.u, a.v)
+		}
+		pairs[key] = id
 	}
 	return nil
 }

@@ -58,6 +58,75 @@ func TestAddEdgePanics(t *testing.T) {
 	}
 }
 
+func TestAddEdgeKeepMin(t *testing.T) {
+	g := New(4)
+	first := g.AddEdge(0, 1, 7)
+	// Same pair, either orientation: the existing edge is kept, M() stays
+	// put, and the weight canonicalizes to the minimum seen.
+	if id := g.AddEdge(1, 0, 9); id != first {
+		t.Fatalf("duplicate (heavier) returned id %d, want %d", id, first)
+	}
+	if w := g.Adj(0)[0].W; w != 7 {
+		t.Fatalf("heavier duplicate changed weight to %d, want 7", w)
+	}
+	if id := g.AddEdge(0, 1, 3); id != first {
+		t.Fatalf("duplicate (lighter) returned id %d, want %d", id, first)
+	}
+	if g.M() != 1 {
+		t.Fatalf("m = %d after duplicates, want 1", g.M())
+	}
+	// Both halves must agree on the canonical minimum.
+	for _, u := range []NodeID{0, 1} {
+		if w := g.Adj(u)[0].W; w != 3 {
+			t.Fatalf("node %d half weight = %d, want 3", u, w)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Unrelated edges still get fresh IDs after a merge.
+	if id := g.AddEdge(2, 3, 1); id != 1 {
+		t.Fatalf("post-merge fresh edge id = %d, want 1", id)
+	}
+}
+
+func TestAddEdgeKeepMinDistances(t *testing.T) {
+	// A graph built with duplicate insertions must be indistinguishable
+	// from one built from the canonical (min-weight) edge set.
+	dup := New(3)
+	dup.AddEdge(0, 1, 5)
+	dup.AddEdge(0, 1, 2)
+	dup.AddEdge(1, 2, 4)
+	dup.AddEdge(2, 1, 9)
+	canon := New(3)
+	canon.AddEdge(0, 1, 2)
+	canon.AddEdge(1, 2, 4)
+	got, want := Dijkstra(dup, 0), Dijkstra(canon, 0)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+	if dup.M() != canon.M() {
+		t.Fatalf("m = %d, want %d", dup.M(), canon.M())
+	}
+}
+
+func TestCloneKeepsDuplicateIndex(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 5)
+	c := g.Clone()
+	if id := c.AddEdge(1, 0, 2); id != 0 {
+		t.Fatalf("clone lost the duplicate index: got fresh id %d", id)
+	}
+	if c.M() != 1 {
+		t.Fatalf("clone m = %d, want 1", c.M())
+	}
+	if g.Adj(0)[0].W != 5 {
+		t.Fatal("clone merge mutated the original")
+	}
+}
+
 func TestEdgesCanonical(t *testing.T) {
 	g := New(4)
 	g.AddEdge(3, 1, 5)

@@ -26,7 +26,8 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 }
 
 // ReadEdgeList parses the WriteEdgeList format. Blank lines and lines
-// starting with '#' are ignored.
+// starting with '#' are ignored. Repeated {u,v} lines merge under AddEdge's
+// keep-min policy, so round-tripping any input yields a canonical list.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<24)

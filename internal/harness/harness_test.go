@@ -3,6 +3,7 @@ package harness
 import (
 	"bytes"
 	"context"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -143,6 +144,16 @@ func TestRunCancellation(t *testing.T) {
 	if err == nil {
 		t.Fatal("want ctx error")
 	}
+	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CancelError, got %T: %v", err, err)
+	}
+	if ce.Completed != 0 || ce.Skipped != len(scns) || ce.Total != len(scns) {
+		t.Fatalf("CancelError counts = %+v, want 0 completed / %d skipped", ce, len(scns))
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("CancelError should unwrap to context.Canceled, got %v", err)
+	}
 	if len(results) != len(scns) {
 		t.Fatalf("got %d results, want %d", len(results), len(scns))
 	}
@@ -150,6 +161,50 @@ func TestRunCancellation(t *testing.T) {
 		if r.OK || !strings.HasPrefix(r.Err, "skipped:") {
 			t.Fatalf("scenario %s should be skipped, got %+v", r.Scenario, r)
 		}
+	}
+}
+
+// TestRunCancellationMidSweep: cancelling between scenarios yields a
+// partial set of real results plus explicitly skipped rows, and the
+// CancelError accounts for both — a cancelled sweep is distinguishable
+// from an ordinarily short one.
+func TestRunCancellationMidSweep(t *testing.T) {
+	scns := quickSubset(t, "all")
+	if len(scns) < 3 {
+		t.Skip("need at least 3 scenarios")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	results, err := Run(ctx, scns, RunOptions{
+		Parallel: 1,
+		Progress: func(done, total int, r Result) {
+			if done == 1 {
+				cancel() // after the first scenario completes
+			}
+		},
+	})
+	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CancelError, got %T: %v", err, err)
+	}
+	if ce.Completed < 1 || ce.Skipped < 1 || ce.Completed+ce.Skipped != ce.Total || ce.Total != len(scns) {
+		t.Fatalf("inconsistent CancelError counts: %+v (n=%d)", ce, len(scns))
+	}
+	completed, skippedRows := 0, 0
+	for _, r := range results {
+		if strings.HasPrefix(r.Err, "skipped:") {
+			skippedRows++
+		} else {
+			completed++
+		}
+	}
+	if completed != ce.Completed || skippedRows != ce.Skipped {
+		t.Fatalf("rows (completed=%d skipped=%d) disagree with CancelError %+v", completed, skippedRows, ce)
+	}
+	// The partial report the caller would build from these results carries
+	// the skipped rows as failures — it cannot read as a clean short sweep.
+	if rep := BuildReport("default", true, results); rep.Failures < skippedRows {
+		t.Fatalf("report failures = %d, want >= %d skipped", rep.Failures, skippedRows)
 	}
 }
 

@@ -39,6 +39,13 @@ type PhaseStat struct {
 	RoundsByDepth string `json:"rounds_by_depth,omitempty"`
 }
 
+// PhasesFromSpans aggregates an engine span ledger into the per-phase
+// breakdown — the exported entry point the serving layer uses to break a
+// single query's metrics down the same way sweep reports do.
+func PhasesFromSpans(spans []simnet.SpanMetrics) []PhaseStat {
+	return phasesFromSpans(spans)
+}
+
 // phasesFromSpans aggregates an engine span ledger into the per-phase
 // breakdown: spans sharing a phase key merge across recursion depths, with
 // the depth split preserved in RoundsByDepth. Rows are ordered by pipeline

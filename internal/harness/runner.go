@@ -116,8 +116,15 @@ type RunOptions struct {
 // input order. Independent simnet engines share nothing, so the sweep
 // scales near-linearly with the pool; per-scenario seeds are derived from
 // the scenario itself, so results are identical for any Parallel value.
-// Cancelling the context stops dispatching new scenarios (running ones
-// finish); the partial results and ctx.Err() are returned.
+//
+// Cancellation: every worker checks ctx.Err() between scenarios, so a
+// cancelled sweep stops at scenario granularity — scenarios already running
+// finish, every undispatched one lands in the results as an explicitly
+// skipped (failing) row, and the returned error is a *CancelError naming
+// how many scenarios completed. A cancelled partial report can therefore
+// never masquerade as an ordinarily short-but-successful sweep: the caller
+// gets a descriptive error and the report itself carries the skipped rows
+// as failures.
 func Run(ctx context.Context, scenarios []Scenario, opt RunOptions) ([]Result, error) {
 	workers := opt.Parallel
 	if workers <= 0 {
@@ -134,9 +141,10 @@ func Run(ctx context.Context, scenarios []Scenario, opt RunOptions) ([]Result, e
 	measureAllocs := opt.Perf && workers == 1
 	results := make([]Result, len(scenarios))
 	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		done int
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		done    int
+		skipCnt int
 	)
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -144,8 +152,10 @@ func Run(ctx context.Context, scenarios []Scenario, opt RunOptions) ([]Result, e
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				wasSkipped := false
 				if ctx.Err() != nil {
 					results[i] = skipped(scenarios[i], ctx.Err())
+					wasSkipped = true
 				} else if opt.Perf {
 					results[i] = executeWithPerf(scenarios[i], measureAllocs)
 				} else {
@@ -153,6 +163,9 @@ func Run(ctx context.Context, scenarios []Scenario, opt RunOptions) ([]Result, e
 				}
 				mu.Lock()
 				done++
+				if wasSkipped {
+					skipCnt++
+				}
 				if opt.Progress != nil {
 					opt.Progress(done, len(scenarios), results[i])
 				}
@@ -165,8 +178,29 @@ func Run(ctx context.Context, scenarios []Scenario, opt RunOptions) ([]Result, e
 	}
 	close(idx)
 	wg.Wait()
-	return results, ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return results, &CancelError{Completed: len(scenarios) - skipCnt, Skipped: skipCnt, Total: len(scenarios), Cause: err}
+	}
+	return results, nil
 }
+
+// CancelError reports a sweep stopped by context cancellation: the partial
+// results are still returned alongside it, with every unrun scenario
+// present as a skipped failure.
+type CancelError struct {
+	// Completed scenarios actually ran (successfully or not); Skipped ones
+	// were abandoned by the cancellation; Completed+Skipped == Total.
+	Completed, Skipped, Total int
+	// Cause is the context's error (context.Canceled or DeadlineExceeded).
+	Cause error
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("harness: sweep cancelled after %d of %d scenarios (%d skipped): %v",
+		e.Completed, e.Total, e.Skipped, e.Cause)
+}
+
+func (e *CancelError) Unwrap() error { return e.Cause }
 
 // executeWithPerf runs a scenario under the perf sidecar. The Result's
 // model-level fields are exactly Execute's; only the Perf sidecar is added.
@@ -191,7 +225,7 @@ func skipped(s Scenario, err error) Result {
 	return Result{
 		Scenario: s.Name, Description: s.Description,
 		Family: string(s.Family), Model: string(s.Model), Alg: string(s.Alg),
-		N: s.N, Err: fmt.Sprintf("skipped: %v", err),
+		N: s.N, Err: fmt.Sprintf("skipped: sweep cancelled before this scenario ran: %v", err),
 	}
 }
 

@@ -1,0 +1,296 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+
+	"dsssp"
+	"dsssp/internal/graph"
+	"dsssp/internal/harness"
+	"dsssp/internal/simnet"
+)
+
+// badRequest marks an error as the client's fault (HTTP 400); everything
+// else surfaces as a server-side failure.
+type badRequest struct{ err error }
+
+func (e badRequest) Error() string { return e.err.Error() }
+func (e badRequest) Unwrap() error { return e.err }
+
+func badf(format string, args ...any) error {
+	return badRequest{fmt.Errorf(format, args...)}
+}
+
+// GraphSpec describes a query's input graph, one of two ways:
+//
+//   - inline: "n" plus "edges" ([[u,v,w], …]); duplicate pairs merge under
+//     the keep-min policy and the edge list is canonicalized (sorted), so
+//     any permutation of the same edge set is the same graph — and hits
+//     the same cache entry;
+//   - generator: "family" (one of the registered generator families) plus
+//     "n", "seed", and an optional weight spec — the graph is materialized
+//     server-side exactly like the bench harness does it.
+type GraphSpec struct {
+	N     int        `json:"n"`
+	Edges [][3]int64 `json:"edges,omitempty"`
+	// Family selects a generator family (path, cycle, tree, grid, random,
+	// cluster, star, expander, barbell, powerlaw, bfgadget, disconnected);
+	// empty means inline edges.
+	Family string `json:"family,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+	// Weights picks the generator's weight distribution (unit, uniform,
+	// zero-heavy); default unit. Ignored for inline edges.
+	Weights *WeightSpec `json:"weights,omitempty"`
+}
+
+// WeightSpec mirrors the harness weight vocabulary.
+type WeightSpec struct {
+	Kind string `json:"kind"`
+	MaxW int64  `json:"max_w,omitempty"`
+}
+
+// QueryOptions mirrors dsssp.Options over the wire.
+type QueryOptions struct {
+	// Model is "congest" (default) or "sleeping".
+	Model string `json:"model,omitempty"`
+	// EpsNum/EpsDen set the cutter ε in (0,1); 0/0 means the default 1/2.
+	EpsNum int64 `json:"eps_num,omitempty"`
+	EpsDen int64 `json:"eps_den,omitempty"`
+	// StrictCongest enforces the O(log n)-bit per-message budget.
+	StrictCongest bool `json:"strict_congest,omitempty"`
+	// MaxRounds caps the simulation (0 = a generous default).
+	MaxRounds int64 `json:"max_rounds,omitempty"`
+	// RecordPhases attaches the per-phase breakdown to the response.
+	RecordPhases bool `json:"record_phases,omitempty"`
+}
+
+// SSSPRequest is the POST /v1/sssp body. Source defaults to node 0.
+type SSSPRequest struct {
+	Graph   GraphSpec    `json:"graph"`
+	Source  int64        `json:"source"`
+	Options QueryOptions `json:"options"`
+}
+
+// PathRequest is the POST /v1/path body: SSSP plus a path reconstruction
+// from target back to source.
+type PathRequest struct {
+	Graph   GraphSpec    `json:"graph"`
+	Source  int64        `json:"source"`
+	Target  int64        `json:"target"`
+	Options QueryOptions `json:"options"`
+}
+
+// APSPRequest is the POST /v1/apsp body; Seed seeds the random-delay
+// composition (Section 1.1).
+type APSPRequest struct {
+	Graph   GraphSpec    `json:"graph"`
+	Seed    int64        `json:"seed"`
+	Options QueryOptions `json:"options"`
+}
+
+// MetricsJSON is the wire form of the simulator metrics (the per-edge and
+// per-node vectors stay server-side; totals travel).
+type MetricsJSON struct {
+	Rounds          int64 `json:"rounds"`
+	StrictRounds    int64 `json:"strict_rounds,omitempty"`
+	Messages        int64 `json:"messages"`
+	MaxEdgeMessages int64 `json:"max_edge_messages"`
+	MaxMessageBits  int64 `json:"max_message_bits,omitempty"`
+	MaxAwake        int64 `json:"max_awake,omitempty"`
+	TotalAwake      int64 `json:"total_awake,omitempty"`
+}
+
+func metricsJSON(m simnet.Metrics) MetricsJSON {
+	return MetricsJSON{
+		Rounds: m.Rounds, StrictRounds: m.StrictRounds, Messages: m.Messages,
+		MaxEdgeMessages: m.MaxEdgeMessages, MaxMessageBits: m.MaxMessageBits,
+		MaxAwake: m.MaxAwake, TotalAwake: m.TotalAwake,
+	}
+}
+
+// SSSPResponse is the POST /v1/sssp result. Dist uses the +Inf sentinel
+// (1<<62) for unreachable nodes, mirrored in Unreachable.
+type SSSPResponse struct {
+	N              int                 `json:"n"`
+	M              int                 `json:"m"`
+	Dist           []int64             `json:"dist"`
+	Unreachable    int                 `json:"unreachable"`
+	SubproblemsMax int                 `json:"subproblems_max,omitempty"`
+	Metrics        MetricsJSON         `json:"metrics"`
+	Phases         []harness.PhaseStat `json:"phases,omitempty"`
+}
+
+// PathResponse is the POST /v1/path result: the exact distance and one
+// shortest path target → … → source (both endpoints inclusive).
+type PathResponse struct {
+	Dist    int64       `json:"dist"`
+	Path    []int64     `json:"path"`
+	Metrics MetricsJSON `json:"metrics"`
+}
+
+// CompositionJSON is the wire form of the APSP scheduling composition.
+type CompositionJSON struct {
+	Dilation           int64 `json:"dilation"`
+	Congestion         int64 `json:"congestion"`
+	MakespanAligned    int64 `json:"makespan_aligned"`
+	MakespanRandom     int64 `json:"makespan_random"`
+	MakespanSequential int64 `json:"makespan_sequential"`
+	MaxMessageBits     int64 `json:"max_message_bits,omitempty"`
+}
+
+// APSPResponse is the POST /v1/apsp result.
+type APSPResponse struct {
+	N           int                 `json:"n"`
+	M           int                 `json:"m"`
+	Dist        [][]int64           `json:"dist"`
+	Composition CompositionJSON     `json:"composition"`
+	Phases      []harness.PhaseStat `json:"phases,omitempty"`
+}
+
+// ErrorResponse is every non-2xx body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// buildGraph validates a GraphSpec and materializes the graph, bounded by
+// the server's size limits. Inline edge lists are canonicalized (sorted,
+// duplicates merged keep-min) before insertion so the simulation — not
+// just the cache key — is a pure function of the edge set.
+func buildGraph(spec GraphSpec, maxN, maxEdges int) (*graph.Graph, error) {
+	if spec.Family != "" {
+		return buildGeneratorGraph(spec, maxN)
+	}
+	if spec.N < 2 || spec.N > maxN {
+		return nil, badf("graph.n must be in [2,%d], got %d", maxN, spec.N)
+	}
+	if len(spec.Edges) == 0 {
+		return nil, badf("inline graph has no edges (set graph.edges or graph.family)")
+	}
+	if len(spec.Edges) > maxEdges {
+		return nil, badf("graph has %d edges, limit %d", len(spec.Edges), maxEdges)
+	}
+	edges := make([][3]int64, len(spec.Edges))
+	for i, e := range spec.Edges {
+		u, v, w := e[0], e[1], e[2]
+		if u > v {
+			u, v = v, u
+		}
+		switch {
+		case u == v:
+			return nil, badf("edge %d: self-loop at node %d", i, u)
+		case u < 0 || v >= int64(spec.N):
+			return nil, badf("edge %d: endpoints {%d,%d} out of range [0,%d)", i, e[0], e[1], spec.N)
+		case w < 0:
+			return nil, badf("edge %d: negative weight %d", i, w)
+		}
+		edges[i] = [3]int64{u, v, w}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a][0] != edges[b][0] {
+			return edges[a][0] < edges[b][0]
+		}
+		if edges[a][1] != edges[b][1] {
+			return edges[a][1] < edges[b][1]
+		}
+		return edges[a][2] < edges[b][2]
+	})
+	// Merge duplicates keep-min here, while they are adjacent in the sorted
+	// list: AddEdge would apply the same policy, but at O(degree) per
+	// duplicate — a cost an untrusted inline edge list must not control.
+	// The sort above puts the minimum weight first within a pair, so
+	// keeping the first occurrence is keep-min.
+	dedup := edges[:0]
+	for i, e := range edges {
+		if i > 0 && e[0] == dedup[len(dedup)-1][0] && e[1] == dedup[len(dedup)-1][1] {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	g := graph.New(spec.N)
+	for _, e := range dedup {
+		g.AddEdge(graph.NodeID(e[0]), graph.NodeID(e[1]), e[2])
+	}
+	g.SortAdj()
+	return g, nil
+}
+
+func buildGeneratorGraph(spec GraphSpec, maxN int) (*graph.Graph, error) {
+	if len(spec.Edges) > 0 {
+		return nil, badf("graph.family and graph.edges are mutually exclusive")
+	}
+	fam := graph.Family(spec.Family)
+	known := false
+	for _, f := range graph.Families() {
+		known = known || f == fam
+	}
+	if !known {
+		return nil, badf("unknown graph family %q (families: %v)", spec.Family, graph.Families())
+	}
+	if spec.N < 4 || spec.N > maxN {
+		return nil, badf("generator graphs need n in [4,%d], got %d", maxN, spec.N)
+	}
+	w := graph.UnitWeights
+	if spec.Weights != nil {
+		// The weight seed is decorrelated from the structure seed by an
+		// LCG step so the two streams differ; a family+seed+weights spec
+		// names one reproducible graph in the service's own namespace.
+		// (Harness scenarios additionally fold the scenario *name* into
+		// their seeds, so a spec does not reproduce a named scenario's
+		// graph — replay those through /v1/sweeps instead.)
+		wseed := spec.Seed*6364136223846793005 + 1442695040888963407
+		switch spec.Weights.Kind {
+		case "", string(harness.WeightUnit):
+		case string(harness.WeightUniform):
+			if spec.Weights.MaxW < 1 {
+				return nil, badf("uniform weights need max_w >= 1")
+			}
+			w = graph.UniformWeights(spec.Weights.MaxW, wseed)
+		case string(harness.WeightZeroHeavy):
+			if spec.Weights.MaxW < 1 {
+				return nil, badf("zero-heavy weights need max_w >= 1")
+			}
+			w = graph.ZeroHeavyWeights(spec.Weights.MaxW, wseed)
+		default:
+			return nil, badf("unknown weight kind %q (unit, uniform, zero-heavy)", spec.Weights.Kind)
+		}
+	}
+	return graph.Make(fam, spec.N, w, spec.Seed), nil
+}
+
+// resolveOptions maps wire options onto dsssp.Options.
+func resolveOptions(o QueryOptions, workers int) (*dsssp.Options, error) {
+	opts := &dsssp.Options{
+		EpsNum: o.EpsNum, EpsDen: o.EpsDen,
+		MaxRounds:     o.MaxRounds,
+		StrictCongest: o.StrictCongest,
+		RecordPhases:  o.RecordPhases,
+		Workers:       workers,
+	}
+	switch o.Model {
+	case "", "congest":
+		opts.Model = dsssp.ModelCongest
+	case "sleeping":
+		opts.Model = dsssp.ModelSleeping
+	default:
+		return nil, badf("unknown model %q (congest, sleeping)", o.Model)
+	}
+	if o.EpsNum != 0 || o.EpsDen != 0 {
+		if o.EpsNum <= 0 || o.EpsDen <= 0 || o.EpsNum >= o.EpsDen {
+			return nil, badf("ε must be in (0,1), got %d/%d", o.EpsNum, o.EpsDen)
+		}
+	}
+	if o.MaxRounds < 0 {
+		return nil, badf("max_rounds must be >= 0, got %d", o.MaxRounds)
+	}
+	return opts, nil
+}
+
+func countUnreachable(dist []int64) int {
+	n := 0
+	for _, d := range dist {
+		if d == graph.Inf {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,160 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// Cache is the content-addressed result cache: finished response bodies
+// keyed by queryKey, evicted LRU under a byte budget, with in-flight
+// deduplication — concurrent identical misses run the computation once and
+// every waiter gets the same bytes. The whole-graph answers the paper's
+// APSP ramification makes expensive are exactly cacheable (deterministic
+// algorithms on content-addressed inputs), so repeats cost a map lookup.
+type Cache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	ll      *list.List               // front = most recently used
+	items   map[string]*list.Element // key → element holding *centry
+	flights map[string]*flight
+
+	hits, misses, evictions int64
+}
+
+type centry struct {
+	key  string
+	body []byte
+}
+
+// flight is one in-progress computation; followers block on done.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// NewCache returns a cache with the given byte budget (<= 0 disables
+// storage; deduplication of concurrent identical requests still applies).
+func NewCache(budget int64) *Cache {
+	return &Cache{
+		budget:  budget,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element),
+		flights: make(map[string]*flight),
+	}
+}
+
+// GetOrCompute returns the cached body for key, or runs compute exactly
+// once per key at a time and caches its result. hit reports whether the
+// bytes came from the cache or a concurrent identical computation (a
+// "shared" hit) rather than this caller's own compute. Errors are never
+// cached: a failed computation leaves no entry, so a transient failure
+// doesn't poison the key. One exception to error propagation: when a
+// flight leader fails with a context cancellation, that error is specific
+// to the leader's hung-up client, not to the computation — a waiting
+// follower (whose own connection is alive) takes over as the new leader
+// instead of inheriting the 499. Genuine compute errors propagate to
+// every waiter unretried.
+func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (body []byte, hit bool, err error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.ll.MoveToFront(el)
+			c.hits++
+			body = el.Value.(*centry).body
+			c.mu.Unlock()
+			return body, true, nil
+		}
+		if f, ok := c.flights[key]; ok {
+			c.mu.Unlock()
+			<-f.done
+			if f.err != nil {
+				if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+					continue // the leader's client died, not the computation
+				}
+				return nil, false, f.err
+			}
+			c.mu.Lock()
+			c.hits++ // served by the leader's computation, not our own
+			c.mu.Unlock()
+			return f.body, true, nil
+		}
+		f := &flight{done: make(chan struct{})}
+		c.flights[key] = f
+		c.misses++
+		c.mu.Unlock()
+		c.lead(key, f, compute)
+		return f.body, false, f.err
+	}
+}
+
+// lead runs the flight leader's computation and always releases the
+// flight — even when compute panics (the HTTP layer recovers handler
+// panics into a 500, so a panicking input must not leave followers parked
+// on f.done forever and the key permanently poisoned). The panic
+// propagates to the leader after cleanup; followers see a plain error.
+func (c *Cache) lead(key string, f *flight, compute func() ([]byte, error)) {
+	completed := false
+	defer func() {
+		c.mu.Lock()
+		delete(c.flights, key)
+		if completed && f.err == nil {
+			c.insertLocked(key, f.body)
+		}
+		c.mu.Unlock()
+		if !completed {
+			f.body, f.err = nil, errors.New("service: computation panicked (see the leader request's error)")
+		}
+		close(f.done)
+	}()
+	f.body, f.err = compute()
+	completed = true
+}
+
+// insertLocked adds an entry and evicts LRU entries until the budget
+// holds. Bodies larger than the whole budget are served but not stored.
+func (c *Cache) insertLocked(key string, body []byte) {
+	if int64(len(body)) > c.budget {
+		return
+	}
+	if el, ok := c.items[key]; ok { // lost a race against a concurrent fill
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&centry{key: key, body: body})
+	c.used += int64(len(body))
+	for c.used > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*centry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.used -= int64(len(e.body))
+		c.evictions++
+	}
+}
+
+// CacheStats is the observable cache state (GET /v1/stats).
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	BytesUsed int64 `json:"bytes_used"`
+	Budget    int64 `json:"bytes_budget"`
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: len(c.items), BytesUsed: c.used, Budget: c.budget,
+	}
+}

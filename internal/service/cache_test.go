@@ -1,0 +1,216 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func mustCompute(t *testing.T, c *Cache, key string, body []byte) (got []byte, hit bool) {
+	t.Helper()
+	got, hit, err := c.GetOrCompute(key, func() ([]byte, error) { return body, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, hit
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(1 << 20)
+	body := []byte("hello")
+	got, hit := mustCompute(t, c, "k", body)
+	if hit || !bytes.Equal(got, body) {
+		t.Fatalf("first access: hit=%v body=%q", hit, got)
+	}
+	got, hit = mustCompute(t, c, "k", []byte("should not be computed"))
+	if !hit || !bytes.Equal(got, body) {
+		t.Fatalf("second access: hit=%v body=%q", hit, got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.BytesUsed != int64(len(body)) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheEvictionUnderByteBudget(t *testing.T) {
+	// Budget for exactly two 100-byte bodies.
+	c := NewCache(200)
+	body := func(i int) []byte { return bytes.Repeat([]byte{byte(i)}, 100) }
+	for i := 0; i < 3; i++ {
+		mustCompute(t, c, fmt.Sprintf("k%d", i), body(i))
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 || st.BytesUsed != 200 {
+		t.Fatalf("stats after overflow = %+v", st)
+	}
+	// k0 was least recently used and must be gone; k1, k2 remain.
+	if _, hit := mustCompute(t, c, "k1", nil); !hit {
+		t.Fatal("k1 should have survived")
+	}
+	if _, hit := mustCompute(t, c, "k2", nil); !hit {
+		t.Fatal("k2 should have survived")
+	}
+	if _, hit := mustCompute(t, c, "k0", body(0)); hit {
+		t.Fatal("k0 should have been evicted")
+	}
+	// Touch order decides the victim: refresh k2, insert k3 — k1 goes.
+	st = c.Stats() // k0's reinsert evicted one more
+	mustCompute(t, c, "k2", nil)
+	mustCompute(t, c, "k3", body(3))
+	if _, hit := mustCompute(t, c, "k2", nil); !hit {
+		t.Fatal("recently-touched k2 evicted instead of LRU")
+	}
+	if c.Stats().Evictions <= st.Evictions {
+		t.Fatalf("no eviction recorded: %+v", c.Stats())
+	}
+}
+
+func TestCacheOversizedBodyNotStored(t *testing.T) {
+	c := NewCache(10)
+	big := bytes.Repeat([]byte("x"), 100)
+	if got, hit := mustCompute(t, c, "big", big); hit || !bytes.Equal(got, big) {
+		t.Fatalf("oversized compute: hit=%v", hit)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.BytesUsed != 0 {
+		t.Fatalf("oversized body was stored: %+v", st)
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache(1 << 10)
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrCompute("k", func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("error result was cached: %+v", st)
+	}
+	// The key still works after a failure.
+	if got, hit := mustCompute(t, c, "k", []byte("ok")); hit || string(got) != "ok" {
+		t.Fatalf("retry after error: hit=%v got=%q", hit, got)
+	}
+}
+
+// TestCachePanicReleasesFlight: a panicking computation must release the
+// flight (followers unblock, the key stays usable) while the panic itself
+// propagates to the leader.
+func TestCachePanicReleasesFlight(t *testing.T) {
+	c := NewCache(1 << 10)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the leader")
+			}
+		}()
+		c.GetOrCompute("k", func() ([]byte, error) { panic("boom") })
+	}()
+	// The key is not poisoned: no stale flight, no bogus entry.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if got, hit := mustCompute(t, c, "k", []byte("ok")); hit || string(got) != "ok" {
+			t.Errorf("post-panic compute: hit=%v got=%q", hit, got)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request after a panicking leader hung — flight not released")
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("stats after recovery = %+v", st)
+	}
+}
+
+// TestCacheLeaderCancellationHandoff: a flight leader failing with a
+// context cancellation (its client hung up) must not poison the waiting
+// followers — one of them takes over and computes.
+func TestCacheLeaderCancellationHandoff(t *testing.T) {
+	c := NewCache(1 << 10)
+	leaderIn := make(chan struct{})
+	leaderGo := make(chan struct{})
+	var leaderErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, leaderErr = c.GetOrCompute("k", func() ([]byte, error) {
+			close(leaderIn)
+			<-leaderGo
+			return nil, context.Canceled // the leader's request died
+		})
+	}()
+	<-leaderIn // the follower only starts once the flight exists
+	var followerBody []byte
+	var followerErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		followerBody, _, followerErr = c.GetOrCompute("k", func() ([]byte, error) {
+			return []byte("follower-computed"), nil
+		})
+	}()
+	// Give the follower a moment to block on the leader's flight, then
+	// let the leader fail. (If the follower hasn't parked yet it simply
+	// finds no flight after the leader exits — same outcome.)
+	time.Sleep(10 * time.Millisecond)
+	close(leaderGo)
+	wg.Wait()
+	if !errors.Is(leaderErr, context.Canceled) {
+		t.Fatalf("leader error = %v", leaderErr)
+	}
+	if followerErr != nil || string(followerBody) != "follower-computed" {
+		t.Fatalf("follower did not take over: body=%q err=%v", followerBody, followerErr)
+	}
+}
+
+// TestCacheSingleflight: concurrent identical misses run the computation
+// once; every follower gets the leader's bytes and counts as a hit.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(1 << 10)
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	const waiters = 8
+	var wg sync.WaitGroup
+	bodies := make([][]byte, waiters)
+	hits := make([]bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, hit, err := c.GetOrCompute("k", func() ([]byte, error) {
+				calls.Add(1)
+				<-gate // hold every concurrent caller in the flight
+				return []byte("computed-once"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			bodies[i], hits[i] = body, hit
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	leaderMisses, followerHits := 0, 0
+	for i := range bodies {
+		if !bytes.Equal(bodies[i], []byte("computed-once")) {
+			t.Fatalf("waiter %d got %q", i, bodies[i])
+		}
+		if hits[i] {
+			followerHits++
+		} else {
+			leaderMisses++
+		}
+	}
+	if leaderMisses != 1 || followerHits != waiters-1 {
+		t.Fatalf("misses=%d hits=%d, want 1/%d", leaderMisses, followerHits, waiters-1)
+	}
+}

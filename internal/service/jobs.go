@@ -1,0 +1,229 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dsssp"
+)
+
+// JobState is a sweep job's lifecycle state.
+type JobState string
+
+// Job states: queued → running → one of the terminal three.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// SweepRequest is the POST /v1/sweeps body.
+type SweepRequest struct {
+	// Patterns select scenarios by exact name or glob ("all" or empty for
+	// the whole suite) — the dsssp.RunScenarios vocabulary.
+	Patterns []string `json:"patterns,omitempty"`
+	// Quick shrinks scenario sizes to smoke-test scale.
+	Quick bool `json:"quick"`
+	// Parallel bounds the sweep's worker pool (0 = server default).
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// JobStatus is the GET /v1/sweeps/{id} snapshot.
+type JobStatus struct {
+	ID       string   `json:"id"`
+	State    JobState `json:"state"`
+	Patterns []string `json:"patterns,omitempty"`
+	Quick    bool     `json:"quick"`
+	// Done/Total track live sweep progress (scenarios completed so far).
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Failures counts scenarios that failed verification so far.
+	Failures int `json:"failures"`
+	// Error explains failed/cancelled states.
+	Error string `json:"error,omitempty"`
+	// Report is the history-store entry name of the finished report (done
+	// state only) — fetchable under the store and chained by /v1/trends.
+	Report      string     `json:"report,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// job pairs a status snapshot with its cancellation handle.
+type job struct {
+	mu     sync.Mutex
+	status JobStatus
+	cancel context.CancelFunc
+}
+
+func (j *job) snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.status
+	st.Patterns = append([]string(nil), j.status.Patterns...)
+	return st
+}
+
+// Job-set bounds: the history store is the durable record, job entries
+// are operational state — so pending work is backpressured and finished
+// records eventually rotate out instead of growing forever.
+const (
+	// maxPendingJobs bounds queued+running jobs; submits beyond it get a
+	// 503 until the backlog drains.
+	maxPendingJobs = 16
+	// maxJobRecords bounds retained job entries; the oldest *terminal*
+	// jobs are evicted past it (live jobs are never evicted).
+	maxJobRecords = 256
+)
+
+// jobSet owns every submitted job, keyed by ID in submission order.
+type jobSet struct {
+	mu    sync.Mutex
+	byID  map[string]*job
+	order []string
+	seq   int
+}
+
+func newJobSet() *jobSet {
+	return &jobSet{byID: make(map[string]*job)}
+}
+
+// add registers a new job, or returns an error when too many jobs are
+// still pending. It also prunes the oldest finished jobs beyond the
+// retention bound.
+func (js *jobSet) add(status JobStatus, cancel context.CancelFunc) (*job, error) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	pending := 0
+	for _, id := range js.order {
+		switch js.byID[id].snapshot().State {
+		case JobQueued, JobRunning:
+			pending++
+		}
+	}
+	if pending >= maxPendingJobs {
+		return nil, fmt.Errorf("service: %d sweep jobs already pending (limit %d) — wait for the backlog to drain", pending, maxPendingJobs)
+	}
+	js.seq++
+	status.ID = fmt.Sprintf("sweep-%04d", js.seq)
+	j := &job{status: status, cancel: cancel}
+	js.byID[status.ID] = j
+	js.order = append(js.order, status.ID)
+	for len(js.order) > maxJobRecords {
+		evicted := false
+		for i, id := range js.order {
+			if st := js.byID[id].snapshot().State; st == JobDone || st == JobFailed || st == JobCancelled {
+				delete(js.byID, id)
+				js.order = append(js.order[:i], js.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything retained is live; the pending cap bounds this
+		}
+	}
+	return j, nil
+}
+
+func (js *jobSet) get(id string) (*job, bool) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	j, ok := js.byID[id]
+	return j, ok
+}
+
+func (js *jobSet) snapshots() []JobStatus {
+	js.mu.Lock()
+	ids := append([]string(nil), js.order...)
+	js.mu.Unlock()
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := js.get(id); ok {
+			out = append(out, j.snapshot())
+		}
+	}
+	return out
+}
+
+func (js *jobSet) counts() map[JobState]int {
+	out := make(map[JobState]int)
+	for _, st := range js.snapshots() {
+		out[st.State]++
+	}
+	return out
+}
+
+// runJob executes one sweep job end to end: wait for a sweep slot, run the
+// scenario sweep with live progress, and land the finished report in the
+// history store. The job's context is cancelled by DELETE /v1/sweeps/{id}
+// and by server shutdown; RunScenariosWith stops at scenario granularity
+// and reports the cancellation descriptively, which becomes the job error.
+func (s *Server) runJob(ctx context.Context, j *job, req SweepRequest) {
+	defer s.jobsWG.Done()
+	// One sweep at a time by default: sweeps are whole-machine affairs and
+	// the query pool keeps serving while they run.
+	select {
+	case s.sweepSem <- struct{}{}:
+		defer func() { <-s.sweepSem }()
+	case <-ctx.Done():
+		s.finishJob(j, JobCancelled, "", fmt.Sprintf("cancelled while queued: %v", context.Cause(ctx)))
+		return
+	}
+
+	now := s.now()
+	j.mu.Lock()
+	j.status.State = JobRunning
+	j.status.StartedAt = &now
+	j.mu.Unlock()
+
+	parallel := req.Parallel
+	if parallel <= 0 {
+		parallel = s.cfg.SweepParallel
+	}
+	rep, err := dsssp.RunScenariosWith(ctx, req.Patterns, dsssp.SweepOptions{
+		Quick:    req.Quick,
+		Parallel: parallel,
+		Progress: func(done, total int, r dsssp.ScenarioResult) {
+			j.mu.Lock()
+			j.status.Done, j.status.Total = done, total
+			if !r.OK {
+				j.status.Failures++
+			}
+			j.mu.Unlock()
+		},
+	})
+	if err != nil {
+		state := JobFailed
+		var ce *dsssp.SweepCancelError
+		if errors.As(err, &ce) {
+			// A cancelled sweep is not a broken one: surface the partial
+			// progress but do not store the partial report — history holds
+			// only complete, comparable sweeps.
+			state = JobCancelled
+		}
+		s.finishJob(j, state, "", err.Error())
+		return
+	}
+	entry, err := s.store.Save(rep, s.cfg.Rev, s.now())
+	if err != nil {
+		s.finishJob(j, JobFailed, "", fmt.Sprintf("sweep finished but storing the report failed: %v", err))
+		return
+	}
+	s.finishJob(j, JobDone, entry.Name, "")
+}
+
+func (s *Server) finishJob(j *job, state JobState, report, errMsg string) {
+	now := s.now()
+	j.mu.Lock()
+	j.status.State = state
+	j.status.Report = report
+	j.status.Error = errMsg
+	j.status.FinishedAt = &now
+	j.mu.Unlock()
+}

@@ -1,0 +1,146 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// LoadOptions tunes the service-load workload: Concurrency clients fire
+// Requests total POST /v1/sssp queries drawn round-robin from Graphs
+// distinct generator specs of size N. With Requests >> Graphs the steady
+// state is cache-hit dominated, so the measured throughput is the serving
+// layer's — not the simulator's.
+type LoadOptions struct {
+	Concurrency int `json:"concurrency"`
+	Requests    int `json:"requests"`
+	Graphs      int `json:"graphs"`
+	N           int `json:"n"`
+}
+
+func (o *LoadOptions) applyDefaults() {
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.Requests <= 0 {
+		o.Requests = 200
+	}
+	if o.Graphs <= 0 {
+		o.Graphs = 4
+	}
+	if o.N <= 0 {
+		o.N = 48
+	}
+}
+
+// LoadReport is the service-load outcome.
+type LoadReport struct {
+	Options  LoadOptions `json:"options"`
+	Requests int         `json:"requests"`
+	// Hits/Misses count the X-Dsssp-Cache verdicts; HitRate = Hits/Requests.
+	Hits    int     `json:"hits"`
+	Misses  int     `json:"misses"`
+	Errors  int     `json:"errors"`
+	HitRate float64 `json:"hit_rate"`
+	WallNS  int64   `json:"wall_ns"`
+	// RPS is end-to-end request throughput over the run.
+	RPS float64 `json:"rps"`
+	// FirstError carries one representative failure for diagnosis.
+	FirstError string `json:"first_error,omitempty"`
+}
+
+// RunLoad hammers a running server with concurrent SSSP queries and
+// measures cache-hit throughput. client may be nil (http.DefaultClient).
+func RunLoad(ctx context.Context, client *http.Client, baseURL string, opt LoadOptions) (LoadReport, error) {
+	opt.applyDefaults()
+	if client == nil {
+		client = http.DefaultClient
+	}
+	bodies := make([][]byte, opt.Graphs)
+	for i := range bodies {
+		b, err := json.Marshal(SSSPRequest{
+			Graph: GraphSpec{
+				Family: "random", N: opt.N, Seed: int64(i + 1),
+				Weights: &WeightSpec{Kind: "uniform", MaxW: int64(opt.N)},
+			},
+		})
+		if err != nil {
+			return LoadReport{}, err
+		}
+		bodies[i] = b
+	}
+
+	var (
+		mu  sync.Mutex
+		rep = LoadReport{Options: opt, Requests: opt.Requests}
+		wg  sync.WaitGroup
+	)
+	idx := make(chan int)
+	start := time.Now()
+	for c := 0; c < opt.Concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				hit, err := oneLoadRequest(ctx, client, baseURL, bodies[i%len(bodies)])
+				mu.Lock()
+				switch {
+				case err != nil:
+					rep.Errors++
+					if rep.FirstError == "" {
+						rep.FirstError = err.Error()
+					}
+				case hit:
+					rep.Hits++
+				default:
+					rep.Misses++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < opt.Requests; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			i = opt.Requests // stop dispatching; workers drain
+		}
+	}
+	close(idx)
+	wg.Wait()
+	rep.WallNS = time.Since(start).Nanoseconds()
+	rep.Requests = rep.Hits + rep.Misses + rep.Errors
+	if rep.Requests > 0 {
+		rep.HitRate = float64(rep.Hits) / float64(rep.Requests)
+	}
+	if rep.WallNS > 0 {
+		rep.RPS = float64(rep.Requests) / (float64(rep.WallNS) / 1e9)
+	}
+	return rep, ctx.Err()
+}
+
+func oneLoadRequest(ctx context.Context, client *http.Client, baseURL string, body []byte) (hit bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/sssp", bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(payload))
+	}
+	return resp.Header.Get("X-Dsssp-Cache") == "hit", nil
+}

@@ -1,0 +1,467 @@
+// Package service is the long-running serving layer over the whole stack:
+// an HTTP API that answers SSSP/APSP/path queries (inline graphs or
+// generator specs) from a bounded worker pool behind a content-addressed
+// result cache, runs scenario sweeps as cancellable async jobs whose
+// reports land in an append-only history store, and chains that history
+// through internal/benchdiff into per-scenario and per-phase envelope-ratio
+// trends. The determinism the bench harness guarantees is what makes this
+// sound: a query result is a pure function of (canonical graph, options),
+// so cached bytes are indistinguishable from recomputation, and stored
+// reports from different moments in history are directly comparable.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"dsssp"
+	"dsssp/internal/graph"
+	"dsssp/internal/harness"
+)
+
+// Config tunes a Server. The zero value serves with sane defaults except
+// HistoryDir, which is required.
+type Config struct {
+	// HistoryDir is the append-only bench history directory (required).
+	HistoryDir string
+	// CacheBytes is the result cache's byte budget (default 64 MiB; <= 0
+	// after defaulting disables storage but keeps request deduplication).
+	CacheBytes int64
+	// Workers bounds concurrently executing queries (default NumCPU).
+	Workers int
+	// SweepParallel is the worker-pool size handed to sweeps that do not
+	// set their own (default NumCPU).
+	SweepParallel int
+	// MaxConcurrentSweeps bounds sweeps running at once (default 1);
+	// queued jobs wait their turn.
+	MaxConcurrentSweeps int
+	// Rev labels stored reports (a git revision; default "unknown").
+	Rev string
+	// MaxN caps requested graph sizes (default 4096).
+	MaxN int
+	// MaxEdges caps inline edge lists (default 1<<20).
+	MaxEdges int
+	// MaxBodyBytes caps request bodies (default 16 MiB).
+	MaxBodyBytes int64
+
+	// now is the test hook for timestamps (default time.Now).
+	now func() time.Time
+}
+
+func (c *Config) applyDefaults() {
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.SweepParallel <= 0 {
+		c.SweepParallel = runtime.NumCPU()
+	}
+	if c.MaxConcurrentSweeps <= 0 {
+		c.MaxConcurrentSweeps = 1
+	}
+	if c.Rev == "" {
+		c.Rev = "unknown"
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 4096
+	}
+	if c.MaxEdges <= 0 {
+		c.MaxEdges = 1 << 20
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+}
+
+// Server is the dsssp serving layer; construct with New, expose with
+// Handler, stop with Close.
+type Server struct {
+	cfg      Config
+	cache    *Cache
+	store    *Store
+	jobs     *jobSet
+	querySem chan struct{}
+	sweepSem chan struct{}
+	mux      *http.ServeMux
+	started  time.Time
+
+	// baseCtx parents every job so Close can cancel them; jobsWG waits for
+	// their goroutines to observe it.
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+	jobsWG    sync.WaitGroup
+}
+
+// New builds a Server (opening the history store) without binding a port.
+func New(cfg Config) (*Server, error) {
+	cfg.applyDefaults()
+	store, err := OpenStore(cfg.HistoryDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		cache:     NewCache(cfg.CacheBytes),
+		store:     store,
+		jobs:      newJobSet(),
+		querySem:  make(chan struct{}, cfg.Workers),
+		sweepSem:  make(chan struct{}, cfg.MaxConcurrentSweeps),
+		mux:       http.NewServeMux(),
+		started:   cfg.now(),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+	}
+	s.mux.HandleFunc("POST /v1/sssp", s.handleSSSP)
+	s.mux.HandleFunc("POST /v1/path", s.handlePath)
+	s.mux.HandleFunc("POST /v1/apsp", s.handleAPSP)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	s.mux.HandleFunc("GET /v1/trends", s.handleTrends)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Handler returns the HTTP handler (panic-safe: a handler panic becomes a
+// 500 JSON error, never a dead connection and never a dead server).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				writeError(w, http.StatusInternalServerError, "internal panic: %v", p)
+			}
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Close cancels every running job and waits for them to finish. Call after
+// the HTTP listener has drained (http.Server.Shutdown) so in-flight
+// requests see consistent state.
+func (s *Server) Close() {
+	s.cancelAll()
+	s.jobsWG.Wait()
+}
+
+// Store exposes the history store (the daemon reports its location).
+func (s *Server) Store() *Store { return s.store }
+
+func (s *Server) now() time.Time { return s.cfg.now() }
+
+// --- query endpoints ---
+
+func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
+	var req SSSPRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	g, opts, ok := s.prepare(w, req.Graph, req.Options)
+	if !ok {
+		return
+	}
+	if req.Source < 0 || req.Source >= int64(g.N()) {
+		s.replyError(w, badf("source %d out of range [0,%d)", req.Source, g.N()))
+		return
+	}
+	key := queryKey("sssp", g, req.Options, fmt.Sprintf("src=%d", req.Source))
+	s.finishQuery(w, r, key, func() ([]byte, error) {
+		res, err := dsssp.SSSP(g, graph.NodeID(req.Source), opts)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(SSSPResponse{
+			N: g.N(), M: g.M(),
+			Dist:           res.Dist,
+			Unreachable:    countUnreachable(res.Dist),
+			SubproblemsMax: res.SubproblemsMax,
+			Metrics:        metricsJSON(res.Metrics),
+			Phases:         harness.PhasesFromSpans(res.Metrics.Spans),
+		})
+	})
+}
+
+func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
+	var req PathRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	g, opts, ok := s.prepare(w, req.Graph, req.Options)
+	if !ok {
+		return
+	}
+	for name, v := range map[string]int64{"source": req.Source, "target": req.Target} {
+		if v < 0 || v >= int64(g.N()) {
+			s.replyError(w, badf("%s %d out of range [0,%d)", name, v, g.N()))
+			return
+		}
+	}
+	key := queryKey("path", g, req.Options, fmt.Sprintf("src=%d|dst=%d", req.Source, req.Target))
+	s.finishQuery(w, r, key, func() ([]byte, error) {
+		tr, err := dsssp.SSSPTree(g, graph.NodeID(req.Source), opts)
+		if err != nil {
+			return nil, err
+		}
+		resp := PathResponse{Dist: tr.Dist[req.Target], Path: []int64{}, Metrics: metricsJSON(tr.Metrics)}
+		if resp.Dist != graph.Inf {
+			// Unreachable targets are an answer (dist = +Inf sentinel,
+			// empty path), not an error.
+			nodes, err := tr.PathTo(graph.NodeID(req.Target))
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range nodes {
+				resp.Path = append(resp.Path, int64(v))
+			}
+		}
+		return json.Marshal(resp)
+	})
+}
+
+func (s *Server) handleAPSP(w http.ResponseWriter, r *http.Request) {
+	var req APSPRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	g, opts, ok := s.prepare(w, req.Graph, req.Options)
+	if !ok {
+		return
+	}
+	key := queryKey("apsp", g, req.Options, fmt.Sprintf("seed=%d", req.Seed))
+	s.finishQuery(w, r, key, func() ([]byte, error) {
+		res, err := dsssp.APSP(g, opts, req.Seed)
+		if err != nil {
+			return nil, err
+		}
+		comp := res.Composition
+		return json.Marshal(APSPResponse{
+			N: g.N(), M: g.M(),
+			Dist: res.Dist,
+			Composition: CompositionJSON{
+				Dilation: comp.Dilation, Congestion: comp.Congestion,
+				MakespanAligned: comp.MakespanAligned, MakespanRandom: comp.MakespanRandom,
+				MakespanSequential: comp.MakespanSequential, MaxMessageBits: comp.MaxMessageBits,
+			},
+			Phases: harness.PhasesFromSpans(comp.Spans),
+		})
+	})
+}
+
+// prepare builds the graph and options for a query, replying on error.
+func (s *Server) prepare(w http.ResponseWriter, spec GraphSpec, qo QueryOptions) (*graph.Graph, *dsssp.Options, bool) {
+	g, err := buildGraph(spec, s.cfg.MaxN, s.cfg.MaxEdges)
+	if err != nil {
+		s.replyError(w, err)
+		return nil, nil, false
+	}
+	opts, err := resolveOptions(qo, s.cfg.Workers)
+	if err != nil {
+		s.replyError(w, err)
+		return nil, nil, false
+	}
+	return g, opts, true
+}
+
+// finishQuery funnels every query through the content-addressed cache and
+// the bounded worker pool: hits skip the pool entirely; misses acquire a
+// worker slot (respecting request cancellation while queued), compute,
+// and leave their bytes behind. Identical concurrent misses collapse into
+// one computation (every follower gets the leader's bytes, counted as a
+// hit and marked X-Dsssp-Cache: hit).
+func (s *Server) finishQuery(w http.ResponseWriter, r *http.Request, key string, compute func() ([]byte, error)) {
+	body, hit, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
+		select {
+		case s.querySem <- struct{}{}:
+			defer func() { <-s.querySem }()
+		case <-r.Context().Done():
+			return nil, r.Context().Err()
+		}
+		return compute()
+	})
+	if err != nil {
+		s.replyError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Dsssp-Cache", "hit")
+	} else {
+		w.Header().Set("X-Dsssp-Cache", "miss")
+	}
+	w.Write(body)
+	w.Write([]byte("\n"))
+}
+
+// --- sweep endpoints ---
+
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	// Normalize the filter exactly like RunScenariosWith will: trim each
+	// pattern, drop blanks, and treat an empty (or all-blank) list as "the
+	// whole suite" — the pre-validation below must not enforce a stricter
+	// grammar than the sweep itself.
+	cleaned := req.Patterns[:0:0]
+	for _, p := range req.Patterns {
+		if p = strings.TrimSpace(p); p != "" {
+			cleaned = append(cleaned, p)
+		}
+	}
+	if len(cleaned) == 0 {
+		cleaned = nil
+	}
+	req.Patterns = cleaned
+	// Reject unknown patterns up front (cheap registry check) so a typo is
+	// a 400, not a failed job discovered by polling.
+	if req.Patterns != nil {
+		if _, err := harness.Default(req.Quick).Select(req.Patterns); err != nil {
+			s.replyError(w, badRequest{err})
+			return
+		}
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j, err := s.jobs.add(JobStatus{
+		State:       JobQueued,
+		Patterns:    req.Patterns,
+		Quick:       req.Quick,
+		SubmittedAt: s.now(),
+	}, cancel)
+	if err != nil {
+		cancel()
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.jobsWG.Add(1)
+	go s.runJob(ctx, j, req)
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.jobs.snapshots())
+}
+
+func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no sweep job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no sweep job %q", r.PathValue("id"))
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// --- observability endpoints ---
+
+// StatsResponse is the GET /v1/stats body.
+type StatsResponse struct {
+	Rev            string           `json:"rev"`
+	UptimeNS       int64            `json:"uptime_ns"`
+	Cache          CacheStats       `json:"cache"`
+	Jobs           map[JobState]int `json:"jobs"`
+	HistoryReports int              `json:"history_reports"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	entries, err := s.store.List()
+	if err != nil {
+		s.replyError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Rev:            s.cfg.Rev,
+		UptimeNS:       s.now().Sub(s.started).Nanoseconds(),
+		Cache:          s.cache.Stats(),
+		Jobs:           s.jobs.counts(),
+		HistoryReports: len(entries),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// --- plumbing ---
+
+// decode parses a JSON request body strictly: unknown fields, trailing
+// garbage, and oversized bodies are 400s with a JSON error body.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, "parsing request body: %v", err)
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "trailing data after the JSON body")
+		return false
+	}
+	return true
+}
+
+// replyError maps an error to its status: client mistakes are 400s,
+// algorithm/simulation rejections 422s, cancellations 499 (the de facto
+// client-closed-request code), everything else 500.
+func (s *Server) replyError(w http.ResponseWriter, err error) {
+	var br badRequest
+	switch {
+	case errors.As(err, &br):
+		writeError(w, http.StatusBadRequest, "%v", err)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		writeError(w, 499, "request cancelled: %v", err)
+	case isComputeError(err):
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// isComputeError recognizes algorithm-level rejections (invalid option
+// combinations the wire validation cannot see, strict-CONGEST budget
+// violations, round-cap overruns) — requests that were well-formed but
+// unprocessable, as opposed to infrastructure failures.
+func isComputeError(err error) bool {
+	msg := err.Error()
+	for _, prefix := range []string{"dsssp:", "simnet:", "core:", "proto:", "sched:"} {
+		if strings.HasPrefix(msg, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}

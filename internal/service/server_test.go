@@ -1,0 +1,248 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dsssp/internal/graph"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := New(Config{HistoryDir: t.TempDir(), Workers: 4, SweepParallel: 2, Rev: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// do issues one request against the handler and returns the recorder.
+func do(t *testing.T, s *Server, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+// wantErrorJSON asserts a 4xx/5xx response with a JSON {"error": ...} body.
+func wantErrorJSON(t *testing.T, w *httptest.ResponseRecorder, status int, substr string) {
+	t.Helper()
+	if w.Code != status {
+		t.Fatalf("status = %d, want %d (body %s)", w.Code, status, w.Body.String())
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+		t.Fatalf("non-JSON error body %q: %v", w.Body.String(), err)
+	}
+	if e.Error == "" || !strings.Contains(e.Error, substr) {
+		t.Fatalf("error %q does not mention %q", e.Error, substr)
+	}
+}
+
+func TestBadInputsAre4xxJSON(t *testing.T) {
+	s := testServer(t)
+	cases := []struct {
+		name, method, path, body string
+		status                   int
+		substr                   string
+	}{
+		{"malformed-json", "POST", "/v1/sssp", `{"graph": nope}`, 400, "parsing request body"},
+		{"unknown-field", "POST", "/v1/sssp", `{"grap": {}}`, 400, "unknown field"},
+		{"trailing-garbage", "POST", "/v1/sssp", `{"graph":{"family":"path","n":8}} trailing`, 400, "trailing data"},
+		{"no-edges", "POST", "/v1/sssp", `{"graph":{"n":4}}`, 400, "no edges"},
+		{"unknown-family", "POST", "/v1/sssp", `{"graph":{"family":"hypercube","n":8}}`, 400, "unknown graph family"},
+		{"n-too-small", "POST", "/v1/sssp", `{"graph":{"family":"path","n":2}}`, 400, "n in [4,"},
+		{"n-too-big", "POST", "/v1/sssp", `{"graph":{"family":"path","n":999999}}`, 400, "n in [4,"},
+		{"self-loop", "POST", "/v1/sssp", `{"graph":{"n":4,"edges":[[1,1,1]]}}`, 400, "self-loop"},
+		{"edge-range", "POST", "/v1/sssp", `{"graph":{"n":4,"edges":[[0,9,1]]}}`, 400, "out of range"},
+		{"negative-weight", "POST", "/v1/sssp", `{"graph":{"n":4,"edges":[[0,1,-5]]}}`, 400, "negative weight"},
+		{"family-and-edges", "POST", "/v1/sssp", `{"graph":{"family":"path","n":8,"edges":[[0,1,1]]}}`, 400, "mutually exclusive"},
+		{"bad-weights", "POST", "/v1/sssp", `{"graph":{"family":"random","n":8,"weights":{"kind":"gaussian"}}}`, 400, "unknown weight kind"},
+		{"source-range", "POST", "/v1/sssp", `{"graph":{"family":"path","n":8},"source":42}`, 400, "source 42 out of range"},
+		{"bad-model", "POST", "/v1/sssp", `{"graph":{"family":"path","n":8},"options":{"model":"quantum"}}`, 400, "unknown model"},
+		{"bad-eps", "POST", "/v1/sssp", `{"graph":{"family":"path","n":8},"options":{"eps_num":3,"eps_den":2}}`, 400, "ε must be in (0,1)"},
+		{"path-target-range", "POST", "/v1/path", `{"graph":{"family":"path","n":8},"target":-1}`, 400, "target -1 out of range"},
+		{"strict-sleeping", "POST", "/v1/sssp", `{"graph":{"family":"path","n":8},"options":{"model":"sleeping","strict_congest":true}}`, 422, "StrictCongest"},
+		{"sweep-bad-pattern", "POST", "/v1/sweeps", `{"patterns":["no-such-scenario*"],"quick":true}`, 400, "matches no scenario"},
+		{"sweep-unknown-job", "GET", "/v1/sweeps/sweep-9999", "", 404, "no sweep job"},
+		{"trends-empty-history", "GET", "/v1/trends", "", 404, "at least 2 stored reports"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantErrorJSON(t, do(t, s, tc.method, tc.path, tc.body), tc.status, tc.substr)
+		})
+	}
+}
+
+func TestSSSPQuery(t *testing.T) {
+	s := testServer(t)
+	// 0 -2- 1 -1- 2 -5- 3, plus a disconnected pair {4,5}.
+	body := `{"graph":{"n":6,"edges":[[0,1,2],[1,2,1],[2,3,5],[4,5,1]]},"source":0}`
+	w := do(t, s, "POST", "/v1/sssp", body)
+	if w.Code != 200 {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("X-Dsssp-Cache"); got != "miss" {
+		t.Fatalf("first query cache header = %q", got)
+	}
+	var resp SSSPResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 2, 3, 8, graph.Inf, graph.Inf}
+	if len(resp.Dist) != len(want) {
+		t.Fatalf("dist = %v", resp.Dist)
+	}
+	for i := range want {
+		if resp.Dist[i] != want[i] {
+			t.Fatalf("dist[%d] = %d, want %d", i, resp.Dist[i], want[i])
+		}
+	}
+	if resp.Unreachable != 2 || resp.N != 6 || resp.M != 4 {
+		t.Fatalf("resp header fields = %+v", resp)
+	}
+	if resp.Metrics.Rounds <= 0 || resp.Metrics.Messages <= 0 {
+		t.Fatalf("metrics = %+v", resp.Metrics)
+	}
+
+	// A permutation of the same edge set (and a duplicated heavier edge)
+	// is the same canonical graph — it must be a cache hit with the exact
+	// same bytes.
+	perm := `{"graph":{"n":6,"edges":[[4,5,1],[2,1,1],[3,2,5],[1,0,2],[0,1,7]]},"source":0}`
+	w2 := do(t, s, "POST", "/v1/sssp", perm)
+	if w2.Code != 200 || w2.Header().Get("X-Dsssp-Cache") != "hit" {
+		t.Fatalf("permuted graph: status %d, cache %q", w2.Code, w2.Header().Get("X-Dsssp-Cache"))
+	}
+	if !bytes.Equal(w.Body.Bytes(), w2.Body.Bytes()) {
+		t.Fatal("cache hit bytes differ from the original response")
+	}
+
+	// A different source is a different computation.
+	w3 := do(t, s, "POST", "/v1/sssp", `{"graph":{"n":6,"edges":[[0,1,2],[1,2,1],[2,3,5],[4,5,1]]},"source":3}`)
+	if w3.Code != 200 || w3.Header().Get("X-Dsssp-Cache") != "miss" {
+		t.Fatalf("different source: status %d, cache %q", w3.Code, w3.Header().Get("X-Dsssp-Cache"))
+	}
+}
+
+func TestSSSPGeneratorSpecAndPhases(t *testing.T) {
+	s := testServer(t)
+	body := `{"graph":{"family":"random","n":32,"seed":7,"weights":{"kind":"uniform","max_w":32}},"options":{"record_phases":true}}`
+	w := do(t, s, "POST", "/v1/sssp", body)
+	if w.Code != 200 {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp SSSPResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.N != 32 || len(resp.Dist) != 32 || resp.Dist[0] != 0 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if len(resp.Phases) == 0 {
+		t.Fatal("record_phases did not attach a phase breakdown")
+	}
+	var phaseRounds int64
+	for _, ph := range resp.Phases {
+		phaseRounds += ph.Rounds
+	}
+	if phaseRounds != resp.Metrics.Rounds {
+		t.Fatalf("phase rounds %d do not partition total %d", phaseRounds, resp.Metrics.Rounds)
+	}
+}
+
+func TestPathQuery(t *testing.T) {
+	s := testServer(t)
+	base := `{"graph":{"n":5,"edges":[[0,1,2],[1,2,1],[0,2,9],[3,4,1]]},"source":0,"target":%s}`
+	w := do(t, s, "POST", "/v1/path", strings.Replace(base, "%s", "2", 1))
+	if w.Code != 200 {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp PathResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Dist != 3 {
+		t.Fatalf("dist = %d, want 3", resp.Dist)
+	}
+	// PathTo returns target-first, source-last.
+	if len(resp.Path) != 3 || resp.Path[0] != 2 || resp.Path[2] != 0 {
+		t.Fatalf("path = %v", resp.Path)
+	}
+	// Unreachable target: an answer, not an error.
+	w = do(t, s, "POST", "/v1/path", strings.Replace(base, "%s", "4", 1))
+	if w.Code != 200 {
+		t.Fatalf("unreachable target: status %d: %s", w.Code, w.Body.String())
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Dist != graph.Inf || len(resp.Path) != 0 {
+		t.Fatalf("unreachable: dist=%d path=%v", resp.Dist, resp.Path)
+	}
+}
+
+func TestAPSPQuery(t *testing.T) {
+	s := testServer(t)
+	w := do(t, s, "POST", "/v1/apsp", `{"graph":{"family":"random","n":12,"seed":3},"seed":42}`)
+	if w.Code != 200 {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp APSPResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.N != 12 || len(resp.Dist) != 12 || len(resp.Dist[0]) != 12 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	for i := 0; i < 12; i++ {
+		if resp.Dist[i][i] != 0 {
+			t.Fatalf("dist[%d][%d] = %d", i, i, resp.Dist[i][i])
+		}
+	}
+	if resp.Composition.MakespanRandom <= 0 || resp.Composition.Congestion <= 0 {
+		t.Fatalf("composition = %+v", resp.Composition)
+	}
+	// Same request → cached bytes.
+	w2 := do(t, s, "POST", "/v1/apsp", `{"graph":{"family":"random","n":12,"seed":3},"seed":42}`)
+	if w2.Header().Get("X-Dsssp-Cache") != "hit" || !bytes.Equal(w.Body.Bytes(), w2.Body.Bytes()) {
+		t.Fatal("identical APSP request did not hit the cache byte-identically")
+	}
+}
+
+func TestStatsAndHealthz(t *testing.T) {
+	s := testServer(t)
+	if w := do(t, s, "GET", "/healthz", ""); w.Code != 200 || !strings.Contains(w.Body.String(), "true") {
+		t.Fatalf("healthz: %d %s", w.Code, w.Body.String())
+	}
+	do(t, s, "POST", "/v1/sssp", `{"graph":{"family":"path","n":8}}`)
+	do(t, s, "POST", "/v1/sssp", `{"graph":{"family":"path","n":8}}`)
+	w := do(t, s, "GET", "/v1/stats", "")
+	if w.Code != 200 {
+		t.Fatalf("stats: %d %s", w.Code, w.Body.String())
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Rev != "test" || st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s := testServer(t)
+	if w := do(t, s, "GET", "/v1/sssp", ""); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/sssp = %d, want 405", w.Code)
+	}
+}

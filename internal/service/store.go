@@ -1,0 +1,152 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"dsssp/internal/harness"
+)
+
+// Store is the append-only bench history: one BENCH_*.json report file per
+// completed sweep, named by UTC timestamp and git revision so plain
+// lexicographic filename order is chronological order. It is the
+// persistence layer behind GET /v1/trends — dsssp-diff reads the same
+// files directly (`dsssp-diff -trend trend.md $(ls history/BENCH_*.json)`).
+type Store struct {
+	dir string
+}
+
+// storePrefix/storeSuffix frame every history filename:
+// BENCH_<stamp>_<rev>.json with stamp = UTC 20060102T150405.000000000.
+const (
+	storePrefix = "BENCH_"
+	storeSuffix = ".json"
+	stampLayout = "20060102T150405.000000000"
+)
+
+// OpenStore opens (creating if needed) a history directory.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("service: history dir must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: creating history dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Entry is one stored report.
+type Entry struct {
+	// Name is the bare filename (the job API's stable report reference).
+	Name string `json:"name"`
+	// Stamp is the UTC completion time encoded in the name.
+	Stamp time.Time `json:"stamp"`
+	// Rev is the git revision label the server was started with.
+	Rev string `json:"rev"`
+}
+
+// Label is the short human form used as a trend column header.
+func (e Entry) Label() string {
+	return e.Stamp.Format("01-02T15:04:05") + "@" + e.Rev
+}
+
+// Save appends a report to the history, named by now and rev. The report
+// is written to a temp file first and the final name is claimed with an
+// atomic link, so a concurrent List never sees a half-written report and
+// a concurrent Save can never overwrite one (same-instant savers — two
+// daemons sharing a history dir, say — collide on the link and nudge
+// their stamp forward instead). Append-only means no overwrite, ever.
+func (st *Store) Save(rep harness.Report, rev string, now time.Time) (Entry, error) {
+	rev = sanitizeRev(rev)
+	now = now.UTC()
+	tmp, err := os.CreateTemp(st.dir, ".tmp-bench-*")
+	if err != nil {
+		return Entry{}, err
+	}
+	defer os.Remove(tmp.Name())
+	if err := harness.WriteJSON(tmp, rep); err != nil {
+		tmp.Close()
+		return Entry{}, err
+	}
+	if err := tmp.Close(); err != nil {
+		return Entry{}, err
+	}
+	for {
+		e := Entry{Name: storePrefix + now.Format(stampLayout) + "_" + rev + storeSuffix, Stamp: now, Rev: rev}
+		switch err := os.Link(tmp.Name(), filepath.Join(st.dir, e.Name)); {
+		case err == nil:
+			return e, nil
+		case errors.Is(err, fs.ErrExist):
+			now = now.Add(time.Nanosecond)
+		default:
+			return Entry{}, err
+		}
+	}
+}
+
+// sanitizeRev keeps the revision label filename- and parser-safe: it
+// becomes a single path-free token with no separators ('_' splits the
+// filename fields), defaulting to "unknown".
+func sanitizeRev(rev string) string {
+	var b strings.Builder
+	for _, r := range rev {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() == 0 {
+		return "unknown"
+	}
+	return b.String()
+}
+
+// List returns the stored entries, oldest first. Files not matching the
+// naming scheme are ignored (the directory may hold temp files or notes).
+func (st *Store) List() ([]Entry, error) {
+	des, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasPrefix(name, storePrefix) || !strings.HasSuffix(name, storeSuffix) {
+			continue
+		}
+		core := strings.TrimSuffix(strings.TrimPrefix(name, storePrefix), storeSuffix)
+		stampStr, rev, ok := strings.Cut(core, "_")
+		if !ok {
+			continue
+		}
+		stamp, err := time.Parse(stampLayout, stampStr)
+		if err != nil {
+			continue
+		}
+		out = append(out, Entry{Name: name, Stamp: stamp.UTC(), Rev: rev})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out, nil
+}
+
+// Load reads one stored report by entry name.
+func (st *Store) Load(name string) (harness.Report, error) {
+	if name != filepath.Base(name) || !strings.HasPrefix(name, storePrefix) {
+		return harness.Report{}, fmt.Errorf("service: invalid report name %q", name)
+	}
+	f, err := os.Open(filepath.Join(st.dir, name))
+	if err != nil {
+		return harness.Report{}, err
+	}
+	defer f.Close()
+	return harness.ReadJSON(f)
+}

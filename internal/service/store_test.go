@@ -1,0 +1,132 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dsssp/internal/harness"
+)
+
+func tinyReport(scenario string, rounds int64) harness.Report {
+	return harness.BuildReport("default", true, []harness.Result{{
+		Scenario: scenario, Family: "random", Model: "congest", Alg: "sssp",
+		N: 8, M: 12, Rounds: rounds, MaxEdgeMessages: 4, Messages: 40,
+		Envelope: harness.Envelope{Rounds: 1000, Congestion: 100},
+		DistHash: "ffff", OK: true,
+	}})
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := OpenStore(filepath.Join(t.TempDir(), "history"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2026, 7, 28, 12, 0, 0, 0, time.UTC)
+	e1, err := st.Save(tinyReport("a", 100), "abc123", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := st.Save(tinyReport("a", 110), "abc124", t0.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Name != e1.Name || entries[1].Name != e2.Name {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if entries[0].Rev != "abc123" || !entries[0].Stamp.Equal(t0) {
+		t.Fatalf("entry 0 = %+v", entries[0])
+	}
+	rep, err := st.Load(e2.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Rounds != 110 {
+		t.Fatalf("loaded report = %+v", rep)
+	}
+}
+
+// TestStoreAppendOnly: saving twice at the same instant must never
+// overwrite — the second save nudges its stamp.
+func TestStoreAppendOnly(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2026, 7, 28, 12, 0, 0, 0, time.UTC)
+	e1, err := st.Save(tinyReport("a", 100), "rev", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := st.Save(tinyReport("a", 200), "rev", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Name == e2.Name {
+		t.Fatalf("collision overwrote: %s", e1.Name)
+	}
+	entries, err := st.List()
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("entries = %+v, err %v", entries, err)
+	}
+	// Chronological order survives the nudge.
+	if !entries[0].Stamp.Before(entries[1].Stamp) {
+		t.Fatalf("stamps out of order: %v, %v", entries[0].Stamp, entries[1].Stamp)
+	}
+}
+
+func TestStoreIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"notes.md", ".tmp-bench-123", "BENCH_garbage.json", "BENCH_nounderscore"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.Save(tinyReport("a", 1), "rev", time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("foreign files leaked into the listing: %+v", entries)
+	}
+}
+
+func TestStoreLoadRejectsTraversal(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"../secret.json", "/etc/passwd", "nope.json"} {
+		if _, err := st.Load(name); err == nil {
+			t.Fatalf("Load(%q) should fail", name)
+		}
+	}
+}
+
+func TestSanitizeRev(t *testing.T) {
+	cases := map[string]string{
+		"abc123":        "abc123",
+		"v1.2-rc3":      "v1.2-rc3",
+		"../../evil":    "....evil",
+		"has_underscor": "hasunderscor",
+		"":              "unknown",
+		"///":           "unknown",
+	}
+	for in, want := range cases {
+		if got := sanitizeRev(in); got != want {
+			t.Errorf("sanitizeRev(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

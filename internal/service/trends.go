@@ -1,0 +1,93 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+
+	"dsssp/internal/benchdiff"
+	"dsssp/internal/harness"
+)
+
+// defaultTrendChain bounds how many reports a trend chains when the
+// request does not say (last=N overrides, in either direction): the
+// history is append-only and unbounded, so an uncapped default would make
+// every /v1/trends poll O(entire history) in parse time and columns.
+const defaultTrendChain = 32
+
+// handleTrends is GET /v1/trends: chain the stored bench history through
+// internal/benchdiff into per-scenario and per-phase envelope-ratio time
+// series. Query parameters:
+//
+//	last=N            chain the most recent N comparable reports (default 32)
+//	format=markdown   render the trend table instead of JSON
+//
+// Only reports of one suite flavor are comparable; the chain uses the
+// flavor of the newest stored report and skips older reports of other
+// flavors (a full sweep stored between quick sweeps must not poison the
+// quick trend). X-Dsssp-Trend-Skipped carries the skip count. Reports are
+// loaded newest-first and loading stops once the chain is full, so the
+// cost of a poll is bounded by the chain length, not the history size.
+func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
+	entries, err := s.store.List()
+	if err != nil {
+		s.replyError(w, err)
+		return
+	}
+	if len(entries) < 2 {
+		writeError(w, http.StatusNotFound,
+			"trends need at least 2 stored reports, history has %d — submit sweeps via POST /v1/sweeps", len(entries))
+		return
+	}
+	limit := defaultTrendChain
+	if n, err := strconv.Atoi(r.URL.Query().Get("last")); err == nil && n >= 2 {
+		limit = n
+	}
+	// Newest first: the newest report defines the suite flavor, and the
+	// loop stops as soon as the chain is full.
+	var (
+		chain   []harness.Report
+		labels  []string
+		flavor  [2]any
+		skipped int
+	)
+	flavorOf := func(rep harness.Report) [2]any { return [2]any{rep.Suite, rep.Quick} }
+	for i := len(entries) - 1; i >= 0 && len(chain) < limit; i-- {
+		rep, err := s.store.Load(entries[i].Name)
+		if err != nil {
+			s.replyError(w, err)
+			return
+		}
+		if len(chain) == 0 {
+			flavor = flavorOf(rep)
+		} else if flavorOf(rep) != flavor {
+			skipped++
+			continue
+		}
+		chain = append(chain, rep)
+		labels = append(labels, entries[i].Label())
+	}
+	// Chronological order for Chain (oldest first).
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+		labels[i], labels[j] = labels[j], labels[i]
+	}
+	if len(chain) < 2 {
+		writeError(w, http.StatusNotFound,
+			"only %d stored report(s) share the newest report's suite flavor (%d skipped) — trends need 2", len(chain), skipped)
+		return
+	}
+	trend, err := benchdiff.Chain(chain, labels, benchdiff.DefaultThresholds())
+	if err != nil {
+		s.replyError(w, err)
+		return
+	}
+	w.Header().Set("X-Dsssp-Trend-Skipped", strconv.Itoa(skipped))
+	if r.URL.Query().Get("format") == "markdown" {
+		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+		if err := benchdiff.WriteTrendMarkdown(w, trend); err != nil {
+			s.replyError(w, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, trend)
+}
