@@ -10,19 +10,28 @@
 //	dsssp-serve                             # serve on :8080, history in ./dsssp-history
 //	dsssp-serve -addr :9000 -history /var/lib/dsssp -cache-bytes 268435456
 //	dsssp-serve -rev $(git rev-parse --short HEAD)   # label stored reports
+//	dsssp-serve -debug-addr 127.0.0.1:6060           # pprof + metrics debug listener
 //	dsssp-serve -load http://localhost:8080          # hammer a running server
 //
 // Endpoints:
 //
-//	POST   /v1/sssp        exact SSSP (graph inline or by generator spec)
-//	POST   /v1/apsp        all-pairs via the Section 1.1 composition
+//	POST   /v1/sssp        exact SSSP (graph inline or by generator spec; ?trace=1 for phases)
+//	POST   /v1/apsp        all-pairs via the Section 1.1 composition (?trace=1 for phases)
 //	POST   /v1/path        distance + one shortest path source→target
 //	POST   /v1/sweeps      submit an async scenario sweep → job ID
 //	GET    /v1/sweeps      list jobs; GET /v1/sweeps/{id} live progress
 //	DELETE /v1/sweeps/{id} cancel a job
 //	GET    /v1/trends      envelope-ratio time series over stored reports
-//	GET    /v1/stats       cache hit/miss, job counts, history size
+//	GET    /v1/stats       cache/pool/jobs/store snapshot
+//	GET    /metrics        Prometheus text exposition
 //	GET    /healthz        liveness
+//
+// With -debug-addr set, a second listener (keep it private) serves
+// net/http/pprof under /debug/pprof/ plus a second /metrics mount.
+//
+// Every request gets an X-Dsssp-Request-Id (generated unless supplied),
+// echoed in error JSON bodies and in the per-request completion log line
+// (structured slog JSON on stderr).
 //
 // The process shuts down cleanly on SIGINT/SIGTERM: the listener drains,
 // running sweep jobs are cancelled (partial sweeps are not stored), and
@@ -35,7 +44,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/exec"
 	"os/signal"
@@ -55,6 +66,9 @@ func main() {
 		sweeps     = flag.Int("max-sweeps", 1, "sweep jobs allowed to run concurrently")
 		rev        = flag.String("rev", "", "git revision label for stored reports (default: git rev-parse --short HEAD, else \"unknown\")")
 		maxN       = flag.Int("max-n", 4096, "largest accepted graph size")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this private address (empty = disabled)")
+		slowQuery  = flag.Duration("slow-query", time.Second, "log requests slower than this at Warn")
+		logLevel   = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
 		load       = flag.String("load", "", "run the service-load workload against this base URL instead of serving")
 		loadReqs   = flag.Int("load-requests", 200, "service-load: total requests")
 		loadConc   = flag.Int("load-concurrency", 8, "service-load: concurrent clients")
@@ -76,6 +90,11 @@ func main() {
 	if *rev == "" {
 		*rev = gitRev()
 	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		die(fmt.Errorf("bad -log-level %q: %w", *logLevel, err))
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	srv, err := service.New(service.Config{
 		HistoryDir:          *history,
 		CacheBytes:          *cacheBytes,
@@ -83,15 +102,36 @@ func main() {
 		MaxConcurrentSweeps: *sweeps,
 		Rev:                 *rev,
 		MaxN:                *maxN,
+		Logger:              logger,
+		SlowQueryThreshold:  *slowQuery,
 	})
 	if err != nil {
 		die(err)
 	}
 
+	if *debugAddr != "" {
+		// The debug listener is intentionally separate from the API
+		// listener: pprof exposes heap contents and must never ride on the
+		// public address. DefaultServeMux is avoided on both.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/metrics", srv.Metrics().Handler())
+		go func() {
+			logger.Info("debug listener up", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				logger.Error("debug listener failed", "addr", *debugAddr, "error", err.Error())
+			}
+		}()
+	}
+
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "dsssp-serve: listening on %s (history %s, rev %s)\n", *addr, srv.Store().Dir(), *rev)
+		logger.Info("listening", "addr", *addr, "history", srv.Store().Dir(), "rev", *rev)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -103,14 +143,14 @@ func main() {
 
 	// Graceful shutdown: stop accepting, drain in-flight requests (bounded),
 	// then cancel sweep jobs and wait for their goroutines.
-	fmt.Fprintln(os.Stderr, "dsssp-serve: signal received, shutting down")
+	logger.Info("signal received, shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "dsssp-serve: draining listener: %v\n", err)
+		logger.Warn("draining listener", "error", err.Error())
 	}
 	srv.Close()
-	fmt.Fprintln(os.Stderr, "dsssp-serve: clean shutdown")
+	logger.Info("clean shutdown")
 }
 
 // runLoad drives the service-load workload and prints the JSON report.

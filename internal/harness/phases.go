@@ -46,6 +46,18 @@ func PhasesFromSpans(spans []simnet.SpanMetrics) []PhaseStat {
 	return phasesFromSpans(spans)
 }
 
+// PhaseRounds sums the per-phase round attribution. Because the span
+// ledger partitions the engine's metrics exactly, this equals the run's
+// total rounds — the conservation law the serving layer's ?trace=1
+// consumers (and tests) rely on.
+func PhaseRounds(phases []PhaseStat) int64 {
+	var total int64
+	for _, ph := range phases {
+		total += ph.Rounds
+	}
+	return total
+}
+
 // phasesFromSpans aggregates an engine span ledger into the per-phase
 // breakdown: spans sharing a phase key merge across recursion depths, with
 // the depth split preserved in RoundsByDepth. Rows are ordered by pipeline

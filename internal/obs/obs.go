@@ -1,0 +1,318 @@
+// Package obs is a dependency-free telemetry kernel for the serving tier:
+// a registry of named counters, gauges, and fixed-bucket histograms —
+// optionally split by label values — rendered in the Prometheus text
+// exposition format. Every mutation is a single atomic operation, so hot
+// paths (per-request, per-phase, per-cache-lookup) pay no lock and the
+// package is -race-clean by construction; the only mutexes guard series
+// creation, which happens once per (metric, label-values) pair.
+//
+// The paper's claims are resource envelopes — rounds, awake time, message
+// bits — and this registry is how those resources become observable per
+// live query instead of per offline sweep: the serving layer feeds each
+// query's per-phase round counts into histograms here, next to the plain
+// operational signals (latency, queue depth, cache hit rates).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is a metric family's Prometheus type.
+type Kind string
+
+// The three supported metric kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Registry holds metric families and renders them; construct with
+// NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one named metric: a kind, a help string, a label-key schema,
+// and the set of instantiated series (one for empty label keys).
+type family struct {
+	name      string
+	help      string
+	kind      Kind
+	labelKeys []string
+	buckets   []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]any // label-values key → *Counter/*Gauge/*Histogram
+	order  []string       // creation order; render sorts
+
+	fn func() float64 // Func metrics: value read at scrape time
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register creates (or panics on a conflicting duplicate of) a family.
+// Duplicate registration is a programmer error — metrics are meant to be
+// created once at construction and threaded to their instrumentation
+// sites, never looked up by name on a hot path.
+func (r *Registry) register(name, help string, kind Kind, labelKeys []string, buckets []float64, fn func() float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, k := range labelKeys {
+		if !validName(k) {
+			panic(fmt.Sprintf("obs: invalid label key %q on %q", k, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.families[name]; ok {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labelKeys: append([]string(nil), labelKeys...),
+		buckets:   buckets,
+		series:    make(map[string]any),
+		fn:        fn,
+	}
+	r.families[name] = f
+	return f
+}
+
+// validName checks the Prometheus metric/label name grammar.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// seriesKey joins label values unambiguously (0xff cannot appear in UTF-8
+// text, so values containing commas or quotes cannot collide).
+func seriesKey(values []string) string { return strings.Join(values, "\xff") }
+
+// with returns the series for the given label values, creating it on
+// first use via make. Panics on label arity mismatch (programmer error).
+func (f *family) with(values []string, make func() any) any {
+	if len(values) != len(f.labelKeys) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labelKeys), len(values)))
+	}
+	key := seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := make()
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// --- counters ---
+
+// Counter is a monotonically increasing count of events.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative n panics (counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("obs: counter decremented")
+	}
+	c.v.Add(n)
+}
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Counter registers an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, KindCounter, nil, nil, nil)
+	return f.with(nil, func() any { return &Counter{} }).(*Counter)
+}
+
+// CounterVec is a counter family split by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a counter family with the given label keys.
+func (r *Registry) CounterVec(name, help string, labelKeys ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, KindCounter, labelKeys, nil, nil)}
+}
+
+// With returns (creating on first use) the counter for the label values.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.with(labelValues, func() any { return &Counter{} }).(*Counter)
+}
+
+// --- gauges ---
+
+// Gauge is an instantaneous integer level (queue depth, in-flight count).
+type Gauge struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value reads the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, KindGauge, nil, nil, nil)
+	return f.with(nil, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeVec is a gauge family split by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a gauge family with the given label keys.
+func (r *Registry) GaugeVec(name, help string, labelKeys ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, KindGauge, labelKeys, nil, nil)}
+}
+
+// With returns (creating on first use) the gauge for the label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.with(labelValues, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// --- scrape-time function metrics ---
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time. fn must be monotonic (e.g. an existing subsystem's own hit
+// counter) and safe for concurrent calls.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, KindCounter, nil, nil, fn)
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, KindGauge, nil, nil, fn)
+}
+
+// --- histograms ---
+
+// Histogram is a fixed-bucket distribution. Buckets are cumulative-≤ at
+// render time (Prometheus le semantics); internally each slot counts its
+// own interval so Observe touches exactly one bucket counter. A scrape
+// concurrent with observations may see a bucket increment before the
+// matching _count/_sum increments — each individual series stays
+// monotonic, which is what rate() needs.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v, len(bounds) if none
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reads the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum reads the running sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// checkBuckets validates histogram bounds: non-empty, strictly ascending,
+// finite (the +Inf bucket is implicit).
+func checkBuckets(name string, bounds []float64) []float64 {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q has no buckets", name))
+	}
+	for i, b := range bounds {
+		if math.IsInf(b, 0) || math.IsNaN(b) {
+			panic(fmt.Sprintf("obs: histogram %q bucket %v is not finite", name, b))
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not strictly ascending at %v", name, b))
+		}
+	}
+	return append([]float64(nil), bounds...)
+}
+
+// Histogram registers an unlabeled fixed-bucket histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, KindHistogram, nil, checkBuckets(name, buckets), nil)
+	return f.with(nil, func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// HistogramVec is a histogram family split by label values; every series
+// shares the family's bucket bounds.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a histogram family with the given label keys.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelKeys ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, KindHistogram, labelKeys, checkBuckets(name, buckets), nil)}
+}
+
+// With returns (creating on first use) the histogram for the label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.f.with(labelValues, func() any { return newHistogram(v.f.buckets) }).(*Histogram)
+}
+
+// --- standard bucket layouts ---
+
+// LatencyBuckets covers request latencies in seconds, 1ms–10s.
+var LatencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// ExpBuckets returns n bounds start, start·factor, start·factor², …
+// (factor > 1) — the natural layout for round counts, whose envelopes are
+// polylog so interesting differences are multiplicative.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// scrape renders the registry and parses it back into sample → value,
+// failing the test on any line that is not valid exposition format.
+func scrape(t *testing.T, r *Registry) map[string]float64 {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			t.Fatalf("blank line in exposition output")
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line %q", line)
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("sample line %q has no value", line)
+		}
+		name, valStr := line[:idx], line[idx+1:]
+		var v float64
+		if valStr == "+Inf" {
+			v = math.Inf(1)
+		} else {
+			f, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("sample %q value %q: %v", name, valStr, err)
+			}
+			v = f
+		}
+		if _, dup := out[name]; dup {
+			t.Fatalf("duplicate sample %q", name)
+		}
+		out[name] = v
+	}
+	return out
+}
+
+func TestRegistryRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Total requests.")
+	c.Add(3)
+	cv := r.CounterVec("by_endpoint_total", "Per-endpoint requests.", "endpoint", "code")
+	cv.With("sssp", "200").Add(2)
+	cv.With("apsp", "400").Inc()
+	g := r.Gauge("queue_depth", "Waiting requests.")
+	g.Set(7)
+	g.Dec()
+	r.GaugeFunc("temperature", "Scrape-time gauge.", func() float64 { return 1.5 })
+	r.CounterFunc("external_hits_total", "Scrape-time counter.", func() float64 { return 9 })
+	h := r.Histogram("latency_seconds", "Request latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	got := scrape(t, r)
+	want := map[string]float64{
+		"requests_total": 3,
+		`by_endpoint_total{endpoint="sssp",code="200"}`: 2,
+		`by_endpoint_total{endpoint="apsp",code="400"}`: 1,
+		"queue_depth":                       6,
+		"temperature":                       1.5,
+		"external_hits_total":               9,
+		`latency_seconds_bucket{le="0.1"}`:  1,
+		`latency_seconds_bucket{le="1"}`:    2,
+		`latency_seconds_bucket{le="+Inf"}`: 3,
+		"latency_seconds_sum":               5.55,
+		"latency_seconds_count":             3,
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s = %v, want %v", name, got[name], w)
+		}
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 4})
+	// le is inclusive: an observation exactly on a bound lands in that
+	// bucket, matching Prometheus semantics.
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(2.5)
+	h.Observe(100)
+	got := scrape(t, r)
+	for name, want := range map[string]float64{
+		`h_bucket{le="1"}`:    1,
+		`h_bucket{le="2"}`:    2,
+		`h_bucket{le="4"}`:    3,
+		`h_bucket{le="+Inf"}`: 4,
+		"h_count":             4,
+	} {
+		if got[name] != want {
+			t.Errorf("%s = %v, want %v", name, got[name], want)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("c_total", "", "path").With(`a"b\c` + "\n").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `c_total{path="a\"b\\c\n"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("rendered %q, want a line %q", sb.String(), want)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 5)
+	want := []float64{1, 2, 4, 8, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	cases := map[string]func(r *Registry){
+		"duplicate-name":   func(r *Registry) { r.Counter("x_total", ""); r.Gauge("x_total", "") },
+		"bad-name":         func(r *Registry) { r.Counter("2bad", "") },
+		"bad-label-key":    func(r *Registry) { r.CounterVec("ok_total", "", "bad-key") },
+		"arity-mismatch":   func(r *Registry) { r.CounterVec("ok_total", "", "a", "b").With("only-one") },
+		"counter-negative": func(r *Registry) { r.Counter("ok_total", "").Add(-1) },
+		"empty-buckets":    func(r *Registry) { r.Histogram("h", "", nil) },
+		"unsorted-buckets": func(r *Registry) { r.Histogram("h", "", []float64{2, 1}) },
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn(NewRegistry())
+		})
+	}
+}
+
+// TestConcurrentHammer drives counters, gauges, and histograms from many
+// goroutines while a scraper renders concurrently, asserting (under
+// -race) that rendering never tears: every scraped counter is monotonic
+// scrape-over-scrape, every line parses, and the final totals are exact.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events_total", "")
+	cv := r.CounterVec("events_by_kind_total", "", "kind")
+	g := r.Gauge("level", "")
+	hv := r.HistogramVec("dist", "", ExpBuckets(1, 2, 8), "phase")
+
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	kinds := []string{"a", "b", "c"}
+	phases := []string{"p0", "p1"}
+
+	done := make(chan struct{})
+	var scrapes sync.WaitGroup
+	scrapes.Add(1)
+	go func() {
+		defer scrapes.Done()
+		prev := make(map[string]float64)
+		for {
+			got := scrape(t, r)
+			for name, v := range got {
+				if strings.HasSuffix(name, "_sum") || name == "level" {
+					continue // gauges move both ways; float sums aren't compared
+				}
+				if p, ok := prev[name]; ok && v < p {
+					t.Errorf("counter %s went backwards: %v -> %v", name, p, v)
+				}
+				prev[name] = v
+			}
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				c.Inc()
+				cv.With(kinds[i%len(kinds)]).Inc()
+				g.Add(1)
+				g.Add(-1)
+				hv.With(phases[i%len(phases)]).Observe(float64(i % 300))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+	scrapes.Wait()
+
+	got := scrape(t, r)
+	if got["events_total"] != workers*perW {
+		t.Fatalf("events_total = %v, want %d", got["events_total"], workers*perW)
+	}
+	var byKind float64
+	for _, k := range kinds {
+		byKind += got[fmt.Sprintf("events_by_kind_total{kind=%q}", k)]
+	}
+	if byKind != workers*perW {
+		t.Fatalf("sum over kinds = %v, want %d", byKind, workers*perW)
+	}
+	if got["level"] != 0 {
+		t.Fatalf("level = %v, want 0", got["level"])
+	}
+	var hcount float64
+	for _, p := range phases {
+		hcount += got[fmt.Sprintf("dist_count{phase=%q}", p)]
+	}
+	if hcount != workers*perW {
+		t.Fatalf("histogram count = %v, want %d", hcount, workers*perW)
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4), families sorted by name and series
+// by label values, so consecutive scrapes of a quiescent registry are
+// byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(a, b int) bool { return fams[a].name < fams[b].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		if f.fn != nil {
+			fmt.Fprintf(bw, "%s %s\n", f.name, formatValue(f.fn()))
+			continue
+		}
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		series := make(map[string]any, len(keys))
+		for _, k := range keys {
+			series[k] = f.series[k]
+		}
+		f.mu.Unlock()
+		sort.Strings(keys)
+		for _, k := range keys {
+			var values []string
+			if k != "" || len(f.labelKeys) > 0 {
+				values = strings.Split(k, "\xff")
+			}
+			switch s := series[k].(type) {
+			case *Counter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, labelString(f.labelKeys, values, "", ""), s.Value())
+			case *Gauge:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, labelString(f.labelKeys, values, "", ""), s.Value())
+			case *Histogram:
+				cum := int64(0)
+				for i, b := range f.buckets {
+					cum += s.counts[i].Load()
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, labelString(f.labelKeys, values, "le", formatValue(b)), cum)
+				}
+				cum += s.counts[len(f.buckets)].Load()
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, labelString(f.labelKeys, values, "le", "+Inf"), cum)
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, labelString(f.labelKeys, values, "", ""), formatValue(s.Sum()))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, labelString(f.labelKeys, values, "", ""), s.Count())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// labelString renders {k1="v1",…}, appending the extra pair (histogram
+// le) when set; empty when there are no pairs at all.
+func labelString(keys, values []string, extraKey, extraValue string) string {
+	if len(keys) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		// %q escapes quotes, backslashes, and newlines exactly as the
+		// exposition format's label-value escapes require.
+		fmt.Fprintf(&b, "%s=%q", k, v)
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraValue)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeHelp keeps HELP lines single-line.
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, "\\", `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trip form, with +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -147,9 +147,13 @@ type APSPResponse struct {
 	Phases      []harness.PhaseStat `json:"phases,omitempty"`
 }
 
-// ErrorResponse is every non-2xx body.
+// ErrorResponse is every non-2xx body: human prose in Error, a stable
+// machine-readable Code (clients switch on it; the prose may change), and
+// the request's correlation ID (also in the X-Dsssp-Request-Id header).
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	Code      string `json:"code"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // buildGraph validates a GraphSpec and materializes the graph, bounded by
@@ -257,13 +261,18 @@ func buildGeneratorGraph(spec GraphSpec, maxN int) (*graph.Graph, error) {
 	return graph.Make(fam, spec.N, w, spec.Seed), nil
 }
 
-// resolveOptions maps wire options onto dsssp.Options.
+// resolveOptions maps wire options onto dsssp.Options. The engine always
+// records phases server-side — the span ledger does not change the
+// schedule (pinned since PR 4), and every computed query feeds the
+// per-phase round histograms in /metrics; the wire RecordPhases flag only
+// controls whether the breakdown travels in the response (and, because it
+// changes the bytes, the cache key).
 func resolveOptions(o QueryOptions, workers int) (*dsssp.Options, error) {
 	opts := &dsssp.Options{
 		EpsNum: o.EpsNum, EpsDen: o.EpsDen,
 		MaxRounds:     o.MaxRounds,
 		StrictCongest: o.StrictCongest,
-		RecordPhases:  o.RecordPhases,
+		RecordPhases:  true,
 		Workers:       workers,
 	}
 	switch o.Model {

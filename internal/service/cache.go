@@ -22,6 +22,9 @@ type Cache struct {
 	flights map[string]*flight
 
 	hits, misses, evictions int64
+	// shared counts hits served by another request's in-flight computation
+	// (singleflight dedup) — a subset of hits.
+	shared int64
 }
 
 type centry struct {
@@ -79,6 +82,7 @@ func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (body [
 			}
 			c.mu.Lock()
 			c.hits++ // served by the leader's computation, not our own
+			c.shared++
 			c.mu.Unlock()
 			return f.body, true, nil
 		}
@@ -139,14 +143,18 @@ func (c *Cache) insertLocked(key string, body []byte) {
 	}
 }
 
-// CacheStats is the observable cache state (GET /v1/stats).
+// CacheStats is the observable cache state (GET /v1/stats and the
+// dsssp_cache_* metrics).
 type CacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
-	Entries   int   `json:"entries"`
-	BytesUsed int64 `json:"bytes_used"`
-	Budget    int64 `json:"bytes_budget"`
+	// SingleflightDedup counts hits served by another request's in-flight
+	// computation (concurrent identical misses collapsed); ⊆ Hits.
+	SingleflightDedup int64 `json:"singleflight_dedup"`
+	Entries           int   `json:"entries"`
+	BytesUsed         int64 `json:"bytes_used"`
+	Budget            int64 `json:"bytes_budget"`
 }
 
 // Stats snapshots the counters.
@@ -154,7 +162,7 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions, SingleflightDedup: c.shared,
 		Entries: len(c.items), BytesUsed: c.used, Budget: c.budget,
 	}
 }

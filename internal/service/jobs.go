@@ -180,7 +180,11 @@ func (s *Server) runJob(ctx context.Context, j *job, req SweepRequest) {
 	j.mu.Lock()
 	j.status.State = JobRunning
 	j.status.StartedAt = &now
+	id := j.status.ID
 	j.mu.Unlock()
+	s.metrics.jobsActive.With(string(JobQueued)).Dec()
+	s.metrics.jobsActive.With(string(JobRunning)).Inc()
+	s.logger.Info("sweep job started", "job", id, "patterns", req.Patterns, "quick", req.Quick)
 
 	parallel := req.Parallel
 	if parallel <= 0 {
@@ -221,9 +225,18 @@ func (s *Server) runJob(ctx context.Context, j *job, req SweepRequest) {
 func (s *Server) finishJob(j *job, state JobState, report, errMsg string) {
 	now := s.now()
 	j.mu.Lock()
+	prev := j.status.State
 	j.status.State = state
 	j.status.Report = report
 	j.status.Error = errMsg
 	j.status.FinishedAt = &now
+	id := j.status.ID
 	j.mu.Unlock()
+	s.metrics.jobsActive.With(string(prev)).Dec()
+	s.metrics.jobsFinished.With(string(state)).Inc()
+	if errMsg != "" {
+		s.logger.Warn("sweep job finished", "job", id, "state", string(state), "error", errMsg)
+	} else {
+		s.logger.Info("sweep job finished", "job", id, "state", string(state), "report", report)
+	}
 }

@@ -1,0 +1,132 @@
+package service
+
+import (
+	"strings"
+
+	"dsssp/internal/harness"
+	"dsssp/internal/obs"
+)
+
+// serverMetrics is the server's telemetry surface, rendered at
+// GET /metrics. Event-shaped signals are counters/histograms updated
+// inline on the hot paths; level-shaped signals owned by other subsystems
+// (cache occupancy, history size) are read at scrape time from those
+// subsystems' own stats, so there is exactly one source of truth per
+// number — /v1/stats and /metrics can never disagree.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	// HTTP surface.
+	requests *obs.CounterVec   // endpoint, code
+	latency  *obs.HistogramVec // endpoint
+	inFlight *obs.GaugeVec     // endpoint
+
+	// Query worker pool.
+	queueDepth *obs.Gauge     // requests waiting for a worker slot
+	poolBusy   *obs.Gauge     // worker slots currently held
+	queueWait  *obs.Histogram // seconds spent waiting for a slot
+
+	// Per-phase round distribution (the paper's envelope structure, per
+	// live query): one histogram series per pipeline phase key.
+	phaseRounds *obs.HistogramVec // phase
+
+	// Sweep-job lifecycle.
+	jobsActive   *obs.GaugeVec   // state ∈ {queued, running}
+	jobsFinished *obs.CounterVec // state ∈ {done, failed, cancelled}
+
+	slowQueries *obs.Counter
+}
+
+func newServerMetrics(cfg *Config, cache *Cache, store *Store) *serverMetrics {
+	r := obs.NewRegistry()
+	m := &serverMetrics{
+		reg: r,
+		requests: r.CounterVec("dsssp_http_requests_total",
+			"HTTP requests served, by endpoint and status code.", "endpoint", "code"),
+		latency: r.HistogramVec("dsssp_http_request_duration_seconds",
+			"End-to-end request latency in seconds, by endpoint.", obs.LatencyBuckets, "endpoint"),
+		inFlight: r.GaugeVec("dsssp_http_in_flight",
+			"Requests currently being served, by endpoint.", "endpoint"),
+		queueDepth: r.Gauge("dsssp_query_queue_depth",
+			"Query requests waiting for a worker-pool slot."),
+		poolBusy: r.Gauge("dsssp_query_pool_busy",
+			"Worker-pool slots currently executing a query."),
+		queueWait: r.Histogram("dsssp_query_queue_wait_seconds",
+			"Seconds a query miss waited for a worker-pool slot.", obs.LatencyBuckets),
+		phaseRounds: r.HistogramVec("dsssp_phase_rounds",
+			"Per-query simulated rounds attributed to each pipeline phase.",
+			obs.ExpBuckets(1, 2, 18), "phase"),
+		jobsActive: r.GaugeVec("dsssp_sweep_jobs_active",
+			"Sweep jobs currently queued or running, by state.", "state"),
+		jobsFinished: r.CounterVec("dsssp_sweep_jobs_finished_total",
+			"Sweep jobs reaching a terminal state, by state.", "state"),
+		slowQueries: r.Counter("dsssp_slow_queries_total",
+			"Requests slower than the configured slow-query threshold."),
+	}
+	r.Gauge("dsssp_query_pool_workers", "Configured worker-pool size.").Set(int64(cfg.Workers))
+
+	// Cache and store counters live in their subsystems (they predate the
+	// registry and also feed /v1/stats); surface them at scrape time.
+	r.CounterFunc("dsssp_cache_hits_total",
+		"Result-cache hits, including singleflight-shared computations.",
+		func() float64 { return float64(cache.Stats().Hits) })
+	r.CounterFunc("dsssp_cache_misses_total",
+		"Result-cache misses (computations actually run).",
+		func() float64 { return float64(cache.Stats().Misses) })
+	r.CounterFunc("dsssp_cache_evictions_total",
+		"Result-cache LRU evictions under the byte budget.",
+		func() float64 { return float64(cache.Stats().Evictions) })
+	r.CounterFunc("dsssp_cache_singleflight_dedup_total",
+		"Concurrent identical misses served by another request's in-flight computation.",
+		func() float64 { return float64(cache.Stats().SingleflightDedup) })
+	r.GaugeFunc("dsssp_cache_entries",
+		"Result-cache entries resident.",
+		func() float64 { return float64(cache.Stats().Entries) })
+	r.GaugeFunc("dsssp_cache_bytes_used",
+		"Result-cache bytes resident.",
+		func() float64 { return float64(cache.Stats().BytesUsed) })
+	r.GaugeFunc("dsssp_cache_bytes_budget",
+		"Result-cache byte budget.",
+		func() float64 { return float64(cache.Stats().Budget) })
+	r.CounterFunc("dsssp_store_appends_total",
+		"Sweep reports appended to the history store by this process.",
+		func() float64 { return float64(store.Appends()) })
+	r.CounterFunc("dsssp_store_append_bytes_total",
+		"Bytes of sweep reports appended by this process.",
+		func() float64 { return float64(store.AppendBytes()) })
+	r.GaugeFunc("dsssp_store_reports",
+		"Report files in the history directory (scrape-time directory scan).",
+		func() float64 { st, _ := store.Stats(); return float64(st.Reports) })
+	r.GaugeFunc("dsssp_store_bytes",
+		"Total bytes of report files in the history directory.",
+		func() float64 { st, _ := store.Stats(); return float64(st.Bytes) })
+	return m
+}
+
+// observePhases feeds one query's per-phase round breakdown into the
+// per-phase histograms — the bridge from the span ledger (PR 4) to the
+// scrape surface. Called once per computed (not cached) query.
+func (m *serverMetrics) observePhases(phases []harness.PhaseStat) {
+	for _, ph := range phases {
+		if ph.Rounds > 0 {
+			m.phaseRounds.With(ph.Phase).Observe(float64(ph.Rounds))
+		}
+	}
+}
+
+// endpointLabel maps a request path to a bounded label vocabulary so an
+// attacker spraying random paths cannot mint unbounded metric series.
+func endpointLabel(path string) string {
+	switch path {
+	case "/v1/sssp", "/v1/apsp", "/v1/path", "/v1/sweeps", "/v1/trends", "/v1/stats":
+		return strings.TrimPrefix(path, "/v1/")
+	case "/healthz":
+		return "healthz"
+	case "/metrics":
+		return "metrics"
+	}
+	if strings.HasPrefix(path, "/v1/sweeps/") {
+		return "sweeps/{id}"
+	}
+	return "other"
+}

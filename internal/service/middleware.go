@@ -1,0 +1,181 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// RequestIDHeader carries the per-request correlation ID: generated when
+// absent, echoed when the client supplies a reasonable one, always set on
+// the response and embedded in error JSON bodies — so one ID links the
+// client's view, the completion log line, and the error payload.
+const RequestIDHeader = "X-Dsssp-Request-Id"
+
+// requestID returns the inbound header's ID if it is sane (short,
+// printable ASCII — it gets logged and echoed verbatim) or mints a fresh
+// 16-hex-char one.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get(RequestIDHeader); id != "" && len(id) <= 64 {
+		ok := true
+		for _, c := range id {
+			if c <= ' ' || c > '~' {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return id
+		}
+	}
+	var b [8]byte
+	rand.Read(b[:]) // never fails (crypto/rand panics rather than degrade)
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter wraps the ResponseWriter to capture the status code and
+// body size for metrics/logging, carry the request ID to writeError, and
+// convert the mux's own plain-text 404/405 replies into the service's
+// JSON error shape so *every* non-2xx body is machine-readable.
+type statusWriter struct {
+	http.ResponseWriter
+	requestID   string
+	status      int
+	bytes       int64
+	intercepted bool // mux-generated error body suppressed, JSON written instead
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status != 0 {
+		w.ResponseWriter.WriteHeader(code) // let net/http log the superfluous call
+		return
+	}
+	w.status = code
+	if (code == http.StatusNotFound || code == http.StatusMethodNotAllowed) &&
+		strings.HasPrefix(w.Header().Get("Content-Type"), "text/plain") {
+		// The bare ServeMux wrote this (our handlers always set JSON):
+		// keep the status and Allow header, replace the text body.
+		w.intercepted = true
+		w.Header().Set("Content-Type", "application/json")
+		w.ResponseWriter.WriteHeader(code)
+		body, _ := json.Marshal(ErrorResponse{
+			Error:     http.StatusText(code),
+			Code:      errorCode(code),
+			RequestID: w.requestID,
+		})
+		body = append(body, '\n')
+		n, _ := w.ResponseWriter.Write(body)
+		w.bytes += int64(n)
+		return
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.intercepted {
+		return len(b), nil // swallow the mux's plain-text body
+	}
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// dssspRequestID is the interface writeError uses to recover the request
+// ID from whatever writer it was handed (the instrumented one in serving,
+// a bare recorder in unit tests).
+func (w *statusWriter) dssspRequestID() string { return w.requestID }
+
+// instrument wraps the mux with the per-request telemetry envelope:
+// request-ID assignment, in-flight/latency/status metrics, the one
+// completion log line, slow-query logging, and panic recovery (a handler
+// panic becomes a 500 JSON error, never a dead connection and never a
+// dead server).
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		endpoint := endpointLabel(r.URL.Path)
+		sw := &statusWriter{ResponseWriter: w, requestID: requestID(r)}
+		sw.Header().Set(RequestIDHeader, sw.requestID)
+		s.metrics.inFlight.With(endpoint).Inc()
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				writeError(sw, http.StatusInternalServerError, "internal panic: %v", p)
+			}
+			elapsed := time.Since(start)
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK // handler wrote nothing at all
+			}
+			s.metrics.inFlight.With(endpoint).Dec()
+			s.metrics.requests.With(endpoint, strconv.Itoa(status)).Inc()
+			s.metrics.latency.With(endpoint).Observe(elapsed.Seconds())
+			attrs := []slog.Attr{
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("endpoint", endpoint),
+				slog.Int("status", status),
+				slog.Duration("latency", elapsed),
+				slog.Int64("bytes", sw.bytes),
+				slog.String("request_id", sw.requestID),
+			}
+			if cacheState := sw.Header().Get("X-Dsssp-Cache"); cacheState != "" {
+				attrs = append(attrs, slog.String("cache", cacheState))
+			}
+			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+			if elapsed >= s.cfg.SlowQueryThreshold {
+				s.metrics.slowQueries.Inc()
+				s.logger.LogAttrs(r.Context(), slog.LevelWarn, "slow query",
+					append(attrs, slog.Duration("threshold", s.cfg.SlowQueryThreshold))...)
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// errorCode maps a status to the stable machine-readable code clients
+// switch on (the prose in "error" is for humans and may change).
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusRequestEntityTooLarge:
+		return "body_too_large"
+	case http.StatusUnprocessableEntity:
+		return "unprocessable"
+	case 499:
+		return "cancelled"
+	case http.StatusServiceUnavailable:
+		return "overloaded"
+	default:
+		return "internal"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	resp := ErrorResponse{Error: fmt.Sprintf(format, args...), Code: errorCode(status)}
+	if rw, ok := w.(interface{ dssspRequestID() string }); ok {
+		resp.RequestID = rw.dssspRequestID()
+	}
+	writeJSON(w, status, resp)
+}

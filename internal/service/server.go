@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
@@ -24,6 +25,7 @@ import (
 	"dsssp"
 	"dsssp/internal/graph"
 	"dsssp/internal/harness"
+	"dsssp/internal/obs"
 )
 
 // Config tunes a Server. The zero value serves with sane defaults except
@@ -50,6 +52,13 @@ type Config struct {
 	MaxEdges int
 	// MaxBodyBytes caps request bodies (default 16 MiB).
 	MaxBodyBytes int64
+	// Logger receives one structured completion line per request plus
+	// slow-query and lifecycle events (default: discard — the daemon
+	// passes a real handler; tests stay quiet).
+	Logger *slog.Logger
+	// SlowQueryThreshold marks requests slower than this as slow queries
+	// (logged at Warn, counted in dsssp_slow_queries_total; default 1s).
+	SlowQueryThreshold time.Duration
 
 	// now is the test hook for timestamps (default time.Now).
 	now func() time.Time
@@ -80,6 +89,12 @@ func (c *Config) applyDefaults() {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 16 << 20
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	if c.SlowQueryThreshold <= 0 {
+		c.SlowQueryThreshold = time.Second
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -95,6 +110,8 @@ type Server struct {
 	querySem chan struct{}
 	sweepSem chan struct{}
 	mux      *http.ServeMux
+	metrics  *serverMetrics
+	logger   *slog.Logger
 	started  time.Time
 
 	// baseCtx parents every job so Close can cancel them; jobsWG waits for
@@ -112,18 +129,22 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	cache := NewCache(cfg.CacheBytes)
 	s := &Server{
 		cfg:       cfg,
-		cache:     NewCache(cfg.CacheBytes),
+		cache:     cache,
 		store:     store,
 		jobs:      newJobSet(),
 		querySem:  make(chan struct{}, cfg.Workers),
 		sweepSem:  make(chan struct{}, cfg.MaxConcurrentSweeps),
 		mux:       http.NewServeMux(),
+		metrics:   newServerMetrics(&cfg, cache, store),
+		logger:    cfg.Logger,
 		started:   cfg.now(),
 		baseCtx:   ctx,
 		cancelAll: cancel,
 	}
+	s.mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	s.mux.HandleFunc("POST /v1/sssp", s.handleSSSP)
 	s.mux.HandleFunc("POST /v1/path", s.handlePath)
 	s.mux.HandleFunc("POST /v1/apsp", s.handleAPSP)
@@ -137,18 +158,18 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the HTTP handler (panic-safe: a handler panic becomes a
-// 500 JSON error, never a dead connection and never a dead server).
+// Handler returns the HTTP handler, wrapped in the instrumentation
+// middleware: request-ID assignment, per-endpoint metrics, one structured
+// completion log line per request, and panic recovery (a handler panic
+// becomes a 500 JSON error, never a dead connection and never a dead
+// server).
 func (s *Server) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		defer func() {
-			if p := recover(); p != nil {
-				writeError(w, http.StatusInternalServerError, "internal panic: %v", p)
-			}
-		}()
-		s.mux.ServeHTTP(w, r)
-	})
+	return s.instrument(s.mux)
 }
+
+// Metrics exposes the telemetry registry (the daemon mounts it on the
+// debug listener too; tests scrape it directly).
+func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
 
 // Close cancels every running job and waits for them to finish. Call after
 // the HTTP listener has drained (http.Server.Shutdown) so in-flight
@@ -170,6 +191,10 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	// ?trace=1 and options.record_phases both attach the per-phase
+	// breakdown; folding trace into the options before the key is computed
+	// keeps traced and untraced responses as distinct cache entries.
+	req.Options.RecordPhases = req.Options.RecordPhases || wantTrace(r)
 	g, opts, ok := s.prepare(w, req.Graph, req.Options)
 	if !ok {
 		return
@@ -184,15 +209,31 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		return json.Marshal(SSSPResponse{
+		phases := harness.PhasesFromSpans(res.Metrics.Spans)
+		s.metrics.observePhases(phases)
+		resp := SSSPResponse{
 			N: g.N(), M: g.M(),
 			Dist:           res.Dist,
 			Unreachable:    countUnreachable(res.Dist),
 			SubproblemsMax: res.SubproblemsMax,
 			Metrics:        metricsJSON(res.Metrics),
-			Phases:         harness.PhasesFromSpans(res.Metrics.Spans),
-		})
+		}
+		if req.Options.RecordPhases {
+			resp.Phases = phases
+		}
+		return json.Marshal(resp)
 	})
+}
+
+// wantTrace reports whether the query string asks for the span-level
+// trace (?trace=1): the per-phase round/energy/bits breakdown inline in
+// the response.
+func wantTrace(r *http.Request) bool {
+	switch r.URL.Query().Get("trace") {
+	case "1", "true":
+		return true
+	}
+	return false
 }
 
 func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
@@ -216,6 +257,7 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		s.metrics.observePhases(harness.PhasesFromSpans(tr.Metrics.Spans))
 		resp := PathResponse{Dist: tr.Dist[req.Target], Path: []int64{}, Metrics: metricsJSON(tr.Metrics)}
 		if resp.Dist != graph.Inf {
 			// Unreachable targets are an answer (dist = +Inf sentinel,
@@ -237,6 +279,7 @@ func (s *Server) handleAPSP(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	req.Options.RecordPhases = req.Options.RecordPhases || wantTrace(r)
 	g, opts, ok := s.prepare(w, req.Graph, req.Options)
 	if !ok {
 		return
@@ -248,7 +291,9 @@ func (s *Server) handleAPSP(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		comp := res.Composition
-		return json.Marshal(APSPResponse{
+		phases := harness.PhasesFromSpans(comp.Spans)
+		s.metrics.observePhases(phases)
+		resp := APSPResponse{
 			N: g.N(), M: g.M(),
 			Dist: res.Dist,
 			Composition: CompositionJSON{
@@ -256,8 +301,11 @@ func (s *Server) handleAPSP(w http.ResponseWriter, r *http.Request) {
 				MakespanAligned: comp.MakespanAligned, MakespanRandom: comp.MakespanRandom,
 				MakespanSequential: comp.MakespanSequential, MaxMessageBits: comp.MaxMessageBits,
 			},
-			Phases: harness.PhasesFromSpans(comp.Spans),
-		})
+		}
+		if req.Options.RecordPhases {
+			resp.Phases = phases
+		}
+		return json.Marshal(resp)
 	})
 }
 
@@ -284,10 +332,19 @@ func (s *Server) prepare(w http.ResponseWriter, spec GraphSpec, qo QueryOptions)
 // hit and marked X-Dsssp-Cache: hit).
 func (s *Server) finishQuery(w http.ResponseWriter, r *http.Request, key string, compute func() ([]byte, error)) {
 	body, hit, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
+		s.metrics.queueDepth.Inc()
+		queued := time.Now()
 		select {
 		case s.querySem <- struct{}{}:
-			defer func() { <-s.querySem }()
+			s.metrics.queueDepth.Dec()
+			s.metrics.queueWait.Observe(time.Since(queued).Seconds())
+			s.metrics.poolBusy.Inc()
+			defer func() {
+				s.metrics.poolBusy.Dec()
+				<-s.querySem
+			}()
 		case <-r.Context().Done():
+			s.metrics.queueDepth.Dec()
 			return nil, r.Context().Err()
 		}
 		return compute()
@@ -347,6 +404,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
+	s.metrics.jobsActive.With(string(JobQueued)).Inc()
 	s.jobsWG.Add(1)
 	go s.runJob(ctx, j, req)
 	writeJSON(w, http.StatusAccepted, j.snapshot())
@@ -377,27 +435,46 @@ func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
 
 // --- observability endpoints ---
 
-// StatsResponse is the GET /v1/stats body.
+// StatsResponse is the GET /v1/stats body: a full operational snapshot —
+// cache, worker pool, jobs by state, and history store — not cache-only.
 type StatsResponse struct {
 	Rev            string           `json:"rev"`
 	UptimeNS       int64            `json:"uptime_ns"`
 	Cache          CacheStats       `json:"cache"`
+	Pool           PoolStats        `json:"pool"`
 	Jobs           map[JobState]int `json:"jobs"`
+	Store          StoreStats       `json:"store"`
 	HistoryReports int              `json:"history_reports"`
 }
 
+// PoolStats is the query worker pool's instantaneous state.
+type PoolStats struct {
+	// Workers is the configured pool size.
+	Workers int `json:"workers"`
+	// InFlight is the number of slots currently executing a query.
+	InFlight int `json:"in_flight"`
+	// Queued is the number of query misses waiting for a slot.
+	Queued int `json:"queued"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	entries, err := s.store.List()
+	storeStats, err := s.store.Stats()
 	if err != nil {
 		s.replyError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Rev:            s.cfg.Rev,
-		UptimeNS:       s.now().Sub(s.started).Nanoseconds(),
-		Cache:          s.cache.Stats(),
+		Rev:      s.cfg.Rev,
+		UptimeNS: s.now().Sub(s.started).Nanoseconds(),
+		Cache:    s.cache.Stats(),
+		Pool: PoolStats{
+			Workers:  s.cfg.Workers,
+			InFlight: int(s.metrics.poolBusy.Value()),
+			Queued:   int(s.metrics.queueDepth.Value()),
+		},
 		Jobs:           s.jobs.counts(),
-		HistoryReports: len(entries),
+		Store:          storeStats,
+		HistoryReports: storeStats.Reports,
 	})
 }
 
@@ -452,16 +529,4 @@ func isComputeError(err error) bool {
 		}
 	}
 	return false
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }

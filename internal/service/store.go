@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"dsssp/internal/harness"
@@ -20,6 +21,11 @@ import (
 // files directly (`dsssp-diff -trend trend.md $(ls history/BENCH_*.json)`).
 type Store struct {
 	dir string
+
+	// appends/appendBytes count reports written by this process (the
+	// directory may also hold reports from earlier lives; Stats walks it).
+	appends     atomic.Int64
+	appendBytes atomic.Int64
 }
 
 // storePrefix/storeSuffix frame every history filename:
@@ -84,6 +90,10 @@ func (st *Store) Save(rep harness.Report, rev string, now time.Time) (Entry, err
 		e := Entry{Name: storePrefix + now.Format(stampLayout) + "_" + rev + storeSuffix, Stamp: now, Rev: rev}
 		switch err := os.Link(tmp.Name(), filepath.Join(st.dir, e.Name)); {
 		case err == nil:
+			st.appends.Add(1)
+			if fi, err := os.Stat(filepath.Join(st.dir, e.Name)); err == nil {
+				st.appendBytes.Add(fi.Size())
+			}
 			return e, nil
 		case errors.Is(err, fs.ErrExist):
 			now = now.Add(time.Nanosecond)
@@ -135,6 +145,38 @@ func (st *Store) List() ([]Entry, error) {
 		out = append(out, Entry{Name: name, Stamp: stamp.UTC(), Rev: rev})
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out, nil
+}
+
+// Appends returns the number of reports this process has written.
+func (st *Store) Appends() int64 { return st.appends.Load() }
+
+// AppendBytes returns the bytes of reports this process has written.
+func (st *Store) AppendBytes() int64 { return st.appendBytes.Load() }
+
+// StoreStats is the history store's observable state (GET /v1/stats):
+// what is on disk now, plus what this process contributed.
+type StoreStats struct {
+	// Reports/Bytes describe the report files currently in the directory.
+	Reports int   `json:"reports"`
+	Bytes   int64 `json:"bytes"`
+	// Appends/AppendBytes count reports written by this process.
+	Appends     int64 `json:"appends"`
+	AppendBytes int64 `json:"append_bytes"`
+}
+
+// Stats walks the history directory and snapshots the append counters.
+func (st *Store) Stats() (StoreStats, error) {
+	entries, err := st.List()
+	if err != nil {
+		return StoreStats{}, err
+	}
+	out := StoreStats{Reports: len(entries), Appends: st.appends.Load(), AppendBytes: st.appendBytes.Load()}
+	for _, e := range entries {
+		if fi, err := os.Stat(filepath.Join(st.dir, e.Name)); err == nil {
+			out.Bytes += fi.Size()
+		}
+	}
 	return out, nil
 }
 
