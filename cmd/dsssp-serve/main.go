@@ -63,6 +63,7 @@ func main() {
 		history    = flag.String("history", "dsssp-history", "append-only bench history directory")
 		cacheBytes = flag.Int64("cache-bytes", 64<<20, "result cache byte budget")
 		workers    = flag.Int("workers", 0, "query worker pool size (0 = NumCPU)")
+		intraCap   = flag.Int("max-intra", 0, "cap on a query's intra-round simulation workers (0 = NumCPU, 1 = force sequential; results are byte-identical either way)")
 		sweeps     = flag.Int("max-sweeps", 1, "sweep jobs allowed to run concurrently")
 		rev        = flag.String("rev", "", "git revision label for stored reports (default: git rev-parse --short HEAD, else \"unknown\")")
 		maxN       = flag.Int("max-n", 4096, "largest accepted graph size")
@@ -99,6 +100,7 @@ func main() {
 		HistoryDir:          *history,
 		CacheBytes:          *cacheBytes,
 		Workers:             *workers,
+		MaxIntraWorkers:     *intraCap,
 		MaxConcurrentSweeps: *sweeps,
 		Rev:                 *rev,
 		MaxN:                *maxN,

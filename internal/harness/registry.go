@@ -313,6 +313,35 @@ func Default(quick bool) *Registry {
 		Model:   ModelCongest, Alg: AlgAPSP, Strict: true, Seed: 42,
 	})
 
+	// Large-n scenarios (full suite only): n=10^5 graphs exercising the
+	// engine's memory engineering and the intra-round worker pool at real
+	// scale — the sizes where comparisons against Forster–Nanongkai-style
+	// algorithms become meaningful. Low-diameter families keep the
+	// always-awake BFS at O(n·diameter) total work; the CSSP pipelines stay
+	// at the regular sizes (their Õ(n) rounds don't sweep at 10^5 yet).
+	if !quick {
+		hugeName := func(model Model, fam graph.Family, n int) string {
+			return fmt.Sprintf("huge/%s-%s/%s/n=%d", model, AlgBFS, fam, n)
+		}
+		const hugeN = 100_000
+		for _, fam := range []graph.Family{graph.FamilyRandom, graph.FamilyStar, graph.FamilyExpander} {
+			r.MustRegister(Scenario{
+				Name:        hugeName(ModelCongest, fam, hugeN),
+				Description: "large-n smoke: BFS at n=10^5 through the arena-backed engine",
+				Family:      fam, N: hugeN,
+				Weights: WeightSpec{Kind: WeightUnit},
+				Model:   ModelCongest, Alg: AlgBFS, Seed: 3,
+			})
+		}
+		r.MustRegister(Scenario{
+			Name:        hugeName(ModelSleeping, graph.FamilyStar, hugeN),
+			Description: "large-n smoke: sleeping-model BFS at n=10^5, polylog awake rounds",
+			Family:      graph.FamilyStar, N: hugeN,
+			Weights: WeightSpec{Kind: WeightUnit},
+			Model:   ModelSleeping, Alg: AlgBFS, Seed: 3,
+		})
+	}
+
 	// Baselines on typical random graphs, plus the congestion contrast on
 	// the Bellman-Ford worst-case gadget: its improving chords force Θ(n)
 	// re-broadcasts per sink edge under Bellman-Ford, while the paper's

@@ -110,6 +110,14 @@ type RunOptions struct {
 	// Result.Perf). All model-level metrics stay byte-identical with the
 	// flag off or on; only the perf fields differ between machines.
 	Perf bool
+	// IntraWorkers sets the simulator's intra-round worker pool for every
+	// scenario (results are byte-identical for any value). 0 means auto:
+	// when the sweep pool is a single worker (Parallel == 1) the otherwise
+	// idle cores go to the run itself (runtime.NumCPU() intra workers);
+	// any wider sweep keeps runs sequential, since scenario-level
+	// parallelism already saturates the machine. Set to 1 to force
+	// sequential simulation everywhere.
+	IntraWorkers int
 }
 
 // Run executes the scenarios over a worker pool and returns results in
@@ -139,6 +147,10 @@ func Run(ctx context.Context, scenarios []Scenario, opt RunOptions) ([]Result, e
 	// The allocation counters are process-global; attributing them to one
 	// scenario is only meaningful when nothing else runs concurrently.
 	measureAllocs := opt.Perf && workers == 1
+	intra := opt.IntraWorkers
+	if intra == 0 && workers == 1 {
+		intra = runtime.NumCPU()
+	}
 	results := make([]Result, len(scenarios))
 	var (
 		wg      sync.WaitGroup
@@ -153,13 +165,15 @@ func Run(ctx context.Context, scenarios []Scenario, opt RunOptions) ([]Result, e
 			defer wg.Done()
 			for i := range idx {
 				wasSkipped := false
+				s := scenarios[i]
+				s.IntraWorkers = intra
 				if ctx.Err() != nil {
-					results[i] = skipped(scenarios[i], ctx.Err())
+					results[i] = skipped(s, ctx.Err())
 					wasSkipped = true
 				} else if opt.Perf {
-					results[i] = executeWithPerf(scenarios[i], measureAllocs)
+					results[i] = executeWithPerf(s, measureAllocs)
 				} else {
-					results[i] = Execute(scenarios[i])
+					results[i] = Execute(s)
 				}
 				mu.Lock()
 				done++
@@ -264,7 +278,7 @@ func executeUnvalidated(s Scenario) (r Result) {
 	// RecordPhases: every pipeline scenario reports its per-phase
 	// breakdown (Result.Phases); the ledger's cost is engine bookkeeping
 	// only and never moves the model-level metrics.
-	copt := core.Options{EpsNum: s.EpsNum, EpsDen: s.EpsDen, StrictCongest: s.Strict, RecordPhases: true}
+	copt := core.Options{EpsNum: s.EpsNum, EpsDen: s.EpsDen, StrictCongest: s.Strict, RecordPhases: true, Workers: s.IntraWorkers}
 
 	switch s.Alg {
 	case AlgSSSP, AlgCSSP:

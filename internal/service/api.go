@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"dsssp"
@@ -37,7 +38,13 @@ type GraphSpec struct {
 	// cluster, star, expander, barbell, powerlaw, bfgadget, disconnected);
 	// empty means inline edges.
 	Family string `json:"family,omitempty"`
-	Seed   int64  `json:"seed,omitempty"`
+	// Seed names the generator's structure stream verbatim (omitted means
+	// 0, a valid seed). The weight stream is derived, not shared: every
+	// other spec axis — family, n, weight kind, max_w — is folded in
+	// before decorrelation (see weightSeed), so two specs differing in any
+	// field draw different weights even under the same bare Seed and
+	// content-addressed cache keys cannot alias.
+	Seed int64 `json:"seed,omitempty"`
 	// Weights picks the generator's weight distribution (unit, uniform,
 	// zero-heavy); default unit. Ignored for inline edges.
 	Weights *WeightSpec `json:"weights,omitempty"`
@@ -62,6 +69,13 @@ type QueryOptions struct {
 	MaxRounds int64 `json:"max_rounds,omitempty"`
 	// RecordPhases attaches the per-phase breakdown to the response.
 	RecordPhases bool `json:"record_phases,omitempty"`
+	// Workers requests intra-round parallel simulation for this query,
+	// clamped to the server's MaxIntraWorkers cap (0 = sequential, the
+	// default). Purely an execution knob: results are byte-identical for
+	// every value, so it is deliberately excluded from the cache key — a
+	// sequential and a parallel request for the same computation share one
+	// cache entry.
+	Workers int `json:"workers,omitempty"`
 }
 
 // SSSPRequest is the POST /v1/sssp body. Source defaults to node 0.
@@ -235,13 +249,7 @@ func buildGeneratorGraph(spec GraphSpec, maxN int) (*graph.Graph, error) {
 	}
 	w := graph.UnitWeights
 	if spec.Weights != nil {
-		// The weight seed is decorrelated from the structure seed by an
-		// LCG step so the two streams differ; a family+seed+weights spec
-		// names one reproducible graph in the service's own namespace.
-		// (Harness scenarios additionally fold the scenario *name* into
-		// their seeds, so a spec does not reproduce a named scenario's
-		// graph — replay those through /v1/sweeps instead.)
-		wseed := spec.Seed*6364136223846793005 + 1442695040888963407
+		wseed := weightSeed(spec)
 		switch spec.Weights.Kind {
 		case "", string(harness.WeightUnit):
 		case string(harness.WeightUniform):
@@ -261,19 +269,54 @@ func buildGeneratorGraph(spec GraphSpec, maxN int) (*graph.Graph, error) {
 	return graph.Make(fam, spec.N, w, spec.Seed), nil
 }
 
+// weightSeed derives a generator spec's weight-stream seed. The spec-seed
+// contract: spec.Seed names the structure stream verbatim (graph.Make
+// consumes it as-is), while the weight stream folds every other spec axis —
+// family, n, weight kind, max_w — into the seed before an LCG decorrelation
+// step. The fold is what keeps distinct specs distinct: a bare LCG of
+// spec.Seed alone made every family sharing a seed (notably the omitted-
+// seed default 0) draw the same weight stream. A spec therefore names
+// exactly one reproducible graph in the service's namespace. (Harness
+// scenarios additionally fold the scenario *name* into their seeds, so a
+// spec does not reproduce a named scenario's graph — replay those through
+// /v1/sweeps instead.)
+//
+// The derivation is part of the wire contract and pinned by
+// TestWeightSeedContract: changing it silently repoints every cached
+// generator-spec result.
+func weightSeed(spec GraphSpec) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|", spec.Family, spec.N)
+	if spec.Weights != nil {
+		fmt.Fprintf(h, "%s|%d", spec.Weights.Kind, spec.Weights.MaxW)
+	}
+	x := spec.Seed ^ int64(h.Sum64())
+	return x*6364136223846793005 + 1442695040888963407
+}
+
 // resolveOptions maps wire options onto dsssp.Options. The engine always
 // records phases server-side — the span ledger does not change the
 // schedule (pinned since PR 4), and every computed query feeds the
 // per-phase round histograms in /metrics; the wire RecordPhases flag only
 // controls whether the breakdown travels in the response (and, because it
-// changes the bytes, the cache key).
-func resolveOptions(o QueryOptions, workers int) (*dsssp.Options, error) {
+// changes the bytes, the cache key). The wire Workers knob maps onto
+// IntraWorkers clamped to the server's cap; it cannot affect response
+// bytes, so it stays out of the cache key (asserted by the hash tests).
+func resolveOptions(o QueryOptions, workers, intraCap int) (*dsssp.Options, error) {
+	if o.Workers < 0 {
+		return nil, badf("workers must be >= 0, got %d", o.Workers)
+	}
+	intra := o.Workers
+	if intra > intraCap {
+		intra = intraCap
+	}
 	opts := &dsssp.Options{
 		EpsNum: o.EpsNum, EpsDen: o.EpsDen,
 		MaxRounds:     o.MaxRounds,
 		StrictCongest: o.StrictCongest,
 		RecordPhases:  true,
 		Workers:       workers,
+		IntraWorkers:  intra,
 	}
 	switch o.Model {
 	case "", "congest":

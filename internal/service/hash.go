@@ -44,7 +44,11 @@ func canonicalGraphDigest(g *graph.Graph) [32]byte {
 // queryKey is the content address of one query result: endpoint ×
 // canonical graph × normalized options × query operands. Two requests with
 // the same key are the same computation, so the cache may serve either's
-// bytes for both.
+// bytes for both. Only options that can change the response bytes
+// participate: QueryOptions.Workers (intra-round parallelism) is
+// deliberately absent, because the parallel engine is byte-identical to
+// the sequential one — folding it in would split one computation across
+// cache entries for no reason (pinned by TestQueryKeyIgnoresWorkers).
 func queryKey(endpoint string, g *graph.Graph, o QueryOptions, operands string) string {
 	gd := canonicalGraphDigest(g)
 	// Normalize the option encoding so semantically identical requests

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -49,6 +50,18 @@ type statusWriter struct {
 	status      int
 	bytes       int64
 	intercepted bool // mux-generated error body suppressed, JSON written instead
+	// writeErr is the first body-write failure (usually the client hanging
+	// up mid-response). Writes to a dead connection return errors that
+	// handlers routinely ignore, so the completion log line surfaces it —
+	// a truncated response must be visible, not silent.
+	writeErr error
+}
+
+// recordWriteErr keeps the first write failure for the completion log line.
+func (w *statusWriter) recordWriteErr(err error) {
+	if err != nil && w.writeErr == nil {
+		w.writeErr = err
+	}
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -70,7 +83,8 @@ func (w *statusWriter) WriteHeader(code int) {
 			RequestID: w.requestID,
 		})
 		body = append(body, '\n')
-		n, _ := w.ResponseWriter.Write(body)
+		n, err := w.ResponseWriter.Write(body)
+		w.recordWriteErr(err)
 		w.bytes += int64(n)
 		return
 	}
@@ -85,7 +99,43 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 		w.status = http.StatusOK
 	}
 	n, err := w.ResponseWriter.Write(b)
+	w.recordWriteErr(err)
 	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards http.Flusher to the underlying writer. The embedded
+// ResponseWriter hides optional interfaces behind the struct type, so
+// without this passthrough any handler that type-asserts for streaming
+// would silently lose flushing once instrumented.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ReadFrom forwards io.ReaderFrom (the sendfile fast path) when the
+// underlying writer provides it, falling back to a plain copy otherwise,
+// with the same status/bytes/error accounting as Write.
+func (w *statusWriter) ReadFrom(r io.Reader) (int64, error) {
+	if w.intercepted {
+		// Match Write: the mux's plain-text error body is being suppressed.
+		return io.Copy(io.Discard, r)
+	}
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	var (
+		n   int64
+		err error
+	)
+	if rf, ok := w.ResponseWriter.(io.ReaderFrom); ok {
+		n, err = rf.ReadFrom(r)
+	} else {
+		n, err = io.Copy(w.ResponseWriter, r)
+	}
+	w.recordWriteErr(err)
+	w.bytes += n
 	return n, err
 }
 
@@ -129,6 +179,9 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			}
 			if cacheState := sw.Header().Get("X-Dsssp-Cache"); cacheState != "" {
 				attrs = append(attrs, slog.String("cache", cacheState))
+			}
+			if sw.writeErr != nil {
+				attrs = append(attrs, slog.String("write_error", sw.writeErr.Error()))
 			}
 			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 			if elapsed >= s.cfg.SlowQueryThreshold {

@@ -38,6 +38,14 @@ type Config struct {
 	CacheBytes int64
 	// Workers bounds concurrently executing queries (default NumCPU).
 	Workers int
+	// MaxIntraWorkers caps a query's requested intra-round simulation
+	// workers (QueryOptions.Workers); requests above the cap are clamped,
+	// not rejected — the knob cannot change result bytes, only wall time.
+	// Default NumCPU; set 1 to force sequential simulation. Note the cap
+	// composes with Workers: a saturated query pool times per-query intra
+	// workers can oversubscribe the machine, so busy deployments should
+	// keep one of the two at 1.
+	MaxIntraWorkers int
 	// SweepParallel is the worker-pool size handed to sweeps that do not
 	// set their own (default NumCPU).
 	SweepParallel int
@@ -70,6 +78,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.NumCPU()
+	}
+	if c.MaxIntraWorkers <= 0 {
+		c.MaxIntraWorkers = runtime.NumCPU()
 	}
 	if c.SweepParallel <= 0 {
 		c.SweepParallel = runtime.NumCPU()
@@ -316,7 +327,7 @@ func (s *Server) prepare(w http.ResponseWriter, spec GraphSpec, qo QueryOptions)
 		s.replyError(w, err)
 		return nil, nil, false
 	}
-	opts, err := resolveOptions(qo, s.cfg.Workers)
+	opts, err := resolveOptions(qo, s.cfg.Workers, s.cfg.MaxIntraWorkers)
 	if err != nil {
 		s.replyError(w, err)
 		return nil, nil, false

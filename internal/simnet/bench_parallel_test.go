@@ -1,0 +1,66 @@
+package simnet
+
+import (
+	"fmt"
+	"testing"
+
+	"dsssp/internal/graph"
+)
+
+// denseProgram keeps every node awake for a fixed number of rounds, each
+// resume doing `spin` LCG steps of private arithmetic. Batches are
+// full-width (n) every round — the workload the intra-round pool exists
+// for — with per-resume cost tunable via spin.
+func denseProgram(rounds, spin int) func(*Ctx) {
+	return func(c *Ctx) {
+		acc := uint64(c.ID())
+		for r := 0; r < rounds; r++ {
+			for i := 0; i < spin; i++ {
+				acc = acc*6364136223846793005 + 1442695040888963407
+			}
+			c.Next()
+		}
+		c.SetOutput(int64(acc >> 1))
+	}
+}
+
+// BenchmarkDenseRounds measures resume-phase scaling when every round's
+// ready batch is the whole graph. This is the pool's saturation case;
+// contrast with BenchmarkE1CongestCSSPIntra (package dsssp), whose CSSP
+// workload averages well under one awake node per round and therefore
+// cannot benefit from intra-round fan-out.
+func BenchmarkDenseRounds(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 14} {
+		g := graph.Star(n, graph.UnitWeights)
+		prog := denseProgram(64, 64)
+		for _, w := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := New(g, Config{Model: Congest, MaxRounds: 1 << 20, Workers: w}).Run(prog); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFlood100k runs the large-n memory-engineering target: a full
+// broadcast over 10^5 nodes (random m=2n), dominated by one huge
+// full-width wave. Exercises the arena-carved inboxes at scale alongside
+// the pool.
+func BenchmarkFlood100k(b *testing.B) {
+	const n = 100_000
+	g := graph.RandomConnected(n, 2*n, graph.UnitWeights, 7)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := New(g, Config{Model: Congest, MaxRounds: 1 << 20, Workers: w}).Run(floodProgram); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -25,7 +25,7 @@ func (c *Ctx) N() int { return c.eng.g.N() }
 func (c *Ctx) Model() Model { return c.eng.cfg.Model }
 
 // Round returns the current round number.
-func (c *Ctx) Round() int64 { return c.ns.wakeRound }
+func (c *Ctx) Round() int64 { return c.eng.wakeRound[c.ns.id] }
 
 // Degree returns the number of incident edges.
 func (c *Ctx) Degree() int { return c.eng.g.Degree(c.ns.id) }
@@ -85,7 +85,7 @@ func (c *Ctx) SetOutput(v any) { c.ns.output = v }
 // copy them if they must outlive the round. The same rule applies to every
 // method returning []Inbound.
 func (c *Ctx) Next() []Inbound {
-	c.ns.wakeRound++
+	c.eng.wakeRound[c.ns.id]++
 	c.yield(yieldRun)
 	return c.take()
 }
@@ -94,10 +94,10 @@ func (c *Ctx) Next() []Inbound {
 // the rounds in between: in Sleeping mode, messages sent during them are
 // lost). r must be strictly greater than the current round.
 func (c *Ctx) SleepUntil(r int64) []Inbound {
-	if r <= c.ns.wakeRound {
-		panic(fmt.Sprintf("simnet: node %d: SleepUntil(%d) not after current round %d", c.ns.id, r, c.ns.wakeRound))
+	if r <= c.eng.wakeRound[c.ns.id] {
+		panic(fmt.Sprintf("simnet: node %d: SleepUntil(%d) not after current round %d", c.ns.id, r, c.eng.wakeRound[c.ns.id]))
 	}
-	c.ns.wakeRound = r
+	c.eng.wakeRound[c.ns.id] = r
 	c.yield(yieldRun)
 	return c.take()
 }
@@ -105,8 +105,8 @@ func (c *Ctx) SleepUntil(r int64) []Inbound {
 // SleepUntilAtLeast is SleepUntil clamped to the next round; use it when the
 // target round may already have passed due to budget slack.
 func (c *Ctx) SleepUntilAtLeast(r int64) []Inbound {
-	if r <= c.ns.wakeRound {
-		r = c.ns.wakeRound + 1
+	if r <= c.eng.wakeRound[c.ns.id] {
+		r = c.eng.wakeRound[c.ns.id] + 1
 	}
 	return c.SleepUntil(r)
 }
@@ -126,10 +126,10 @@ func (c *Ctx) WaitMessage(deadline int64) []Inbound {
 		// A message is already pending; behave like Next.
 		return c.Next()
 	}
-	if deadline >= 0 && deadline <= c.ns.wakeRound {
-		panic(fmt.Sprintf("simnet: node %d: WaitMessage deadline %d not after current round %d", c.ns.id, deadline, c.ns.wakeRound))
+	if deadline >= 0 && deadline <= c.eng.wakeRound[c.ns.id] {
+		panic(fmt.Sprintf("simnet: node %d: WaitMessage deadline %d not after current round %d", c.ns.id, deadline, c.eng.wakeRound[c.ns.id]))
 	}
-	c.ns.parkDeadline = deadline
+	c.eng.parkDeadline[c.ns.id] = deadline
 	c.yield(yieldPark)
 	return c.take()
 }
@@ -149,7 +149,7 @@ func (c *Ctx) take() []Inbound {
 // a direct coroutine switch, not a Go-scheduler round trip. A false return
 // from the coroutine yield means the engine shut the run down.
 func (c *Ctx) yield(kind yieldKind) {
-	c.ns.kind = kind
+	c.eng.kind[c.ns.id] = kind
 	if !c.ns.yieldFn(struct{}{}) {
 		panic(errKilled)
 	}

@@ -13,7 +13,9 @@ import (
 // divergence in Metrics, Outputs, Trace, or error text is attributable to
 // the scheduler rewrite.
 //
-// Do not "improve" this code: its value is being the old semantics.
+// Do not "improve" this code: its value is being the old semantics. (The
+// only edits since freezing are mechanical field relocations tracking the
+// struct-of-arrays layout change — ns.kind → e.kind[id] and friends.)
 func (e *Engine) runOracle(p Program) (*Result, error) {
 	res := e.start(p)
 	defer e.shutdown()
@@ -56,13 +58,12 @@ func (e *Engine) runOracle(p Program) (*Result, error) {
 		for len(wh) > 0 && wh[0].round == cur {
 			var we wakeEntry
 			we, wh = heapPopWake(wh)
-			ns := &e.nodes[we.id]
-			if ns.halted || ns.seq != we.seq {
+			if e.halted[we.id] || e.seq[we.id] != we.seq {
 				continue // stale entry
 			}
-			if ns.kind == yieldPark {
+			if e.kind[we.id] == yieldPark {
 				// Deadline expiry of a parked node.
-				ns.kind = yieldRun
+				e.kind[we.id] = yieldRun
 				parked--
 			}
 			batch = append(batch, we.id)
@@ -74,26 +75,26 @@ func (e *Engine) runOracle(p Program) (*Result, error) {
 			awakeEpoch[id] = cur
 			met.PerNodeAwake[id]++
 			met.TotalAwake++
-			ns.wakeRound = cur
+			e.wakeRound[id] = cur
 			ns.resume()
 			if ns.perr != nil {
-				ns.halted = true // goroutine has exited
+				e.halted[id] = true // goroutine has exited
 				return nil, ns.perr
 			}
-			switch ns.kind {
+			switch e.kind[id] {
 			case yieldHalt:
-				ns.halted = true
+				e.halted[id] = true
 				halted++
 				res.Outputs[id] = ns.output
 			case yieldPark:
 				parked++
-				if ns.parkDeadline >= 0 {
-					ns.seq++
-					wh = heapPushWake(wh, wakeEntry{ns.parkDeadline, id, ns.seq})
+				if e.parkDeadline[id] >= 0 {
+					e.seq[id]++
+					wh = heapPushWake(wh, wakeEntry{e.parkDeadline[id], id, e.seq[id]})
 				}
 			case yieldRun:
-				ns.seq++
-				wh = heapPushWake(wh, wakeEntry{ns.wakeRound, id, ns.seq})
+				e.seq[id]++
+				wh = heapPushWake(wh, wakeEntry{e.wakeRound[id], id, e.seq[id]})
 			}
 		}
 		// Deliver this round's messages in sender-ID order.
@@ -138,25 +139,25 @@ func (e *Engine) runOracle(p Program) (*Result, error) {
 				if e.cfg.RecordTrace {
 					res.Trace = append(res.Trace, TraceEntry{cur, h.ID, byte(dirBit)})
 				}
-				dst := &e.nodes[h.To]
 				switch {
-				case dst.halted:
+				case e.halted[h.To]:
 					met.DroppedAfterHalt++
 				case e.cfg.Model == Sleeping && awakeEpoch[h.To] != cur:
 					met.LostMessages++
 				default:
+					dst := &e.nodes[h.To]
 					dst.inbox = append(dst.inbox, Inbound{
 						From:    id,
 						NbIndex: int(e.revFlat[e.revOff[id]+int32(om.nbIndex)]),
 						Round:   cur,
 						Msg:     om.msg,
 					})
-					if dst.kind == yieldPark {
-						dst.kind = yieldRun
-						dst.wakeRound = cur + 1
-						dst.seq++
+					if e.kind[h.To] == yieldPark {
+						e.kind[h.To] = yieldRun
+						e.wakeRound[h.To] = cur + 1
+						e.seq[h.To]++
 						parked--
-						wh = heapPushWake(wh, wakeEntry{cur + 1, h.To, dst.seq})
+						wh = heapPushWake(wh, wakeEntry{cur + 1, h.To, e.seq[h.To]})
 					}
 				}
 			}

@@ -27,21 +27,43 @@
 // O(1) ring-bucket appends, and only far-future SleepUntil/WaitMessage
 // deadlines fall back to a typed binary heap (see wakeQueue). Node programs
 // are iter.Pull coroutines rather than channel-synchronized goroutines, so
-// a resume/yield pair is a direct coroutine switch on the engine's own
-// goroutine — no Go-scheduler round trip, channel locks, or park/unpark —
-// and a node that merely calls Next() on an empty inbox costs little more
-// than a function call. Everything runs on one goroutine, so determinism
-// needs no further argument and Program closures may share state freely.
+// a resume/yield pair is a direct coroutine switch — no Go-scheduler round
+// trip, channel locks, or park/unpark — and a node that merely calls Next()
+// on an empty inbox costs little more than a function call.
 //
-// Buffers are pooled across rounds: each node's inbox is double-buffered
-// (see Ctx.Next for the resulting ownership rule), outboxes are reused, and
-// the trace buffer is preallocated from the edge count.
+// # Intra-round parallelism
+//
+// The model gives rounds no internal ordering semantics: within a round
+// every awake node acts on the state it held at the round's start, and all
+// sends land at the end of the round. The engine exploits exactly that
+// independence when Config.Workers > 1: each round's batch of resumes fans
+// out over a persistent worker pool (see resumePool), while everything with
+// cross-node effects — queue updates, halt accounting, span attribution,
+// message delivery, error selection — is deferred to a deterministic
+// barrier that replays it on the engine goroutine in node-ID order. A
+// parallel run is therefore byte-identical to a sequential one in Metrics,
+// Outputs, Trace, span ledger, and error text (enforced by the oracle
+// differential tests in this package).
+//
+// # Memory layout
+//
+// Per-node scheduling state (wake round, queue seq, yield kind, halted,
+// park deadline) lives in struct-of-arrays form on the Engine, so the hot
+// take/filter loops scan dense arrays instead of striding over the full
+// node structs. Buffers are pooled across rounds: each node's inbox is
+// double-buffered (see Ctx.Next for the resulting ownership rule) and
+// outboxes are reused, with the initial buffers for all nodes carved from
+// three shared degree-proportional arenas — at n=10^5 that is three
+// allocations instead of ~3n, and growth past a node's carve falls back to
+// the heap transparently. The trace buffer is preallocated from the edge
+// count.
 package simnet
 
 import (
 	"fmt"
 	"iter"
 	"slices"
+	"sync"
 
 	"dsssp/internal/graph"
 )
@@ -99,6 +121,16 @@ type Config struct {
 	// round, message, awake round, and message bit measurement to exactly
 	// one open span, reported in Metrics.Spans.
 	RecordSpans bool
+	// Workers sets the intra-round worker pool for this run. Within a
+	// round every awake node acts independently, so the engine fans the
+	// round's coroutine resumes out over Workers goroutines and re-merges
+	// at a deterministic per-round barrier: queue updates, halts, span
+	// attribution, and message delivery all replay on the engine goroutine
+	// in node-ID order. Metrics, Outputs, Trace, the span ledger, and
+	// error text are byte-identical to the sequential engine for every
+	// value. 0 or 1 means sequential (the default); values above
+	// runtime.GOMAXPROCS rarely help.
+	Workers int
 }
 
 // Inbound is a received message.
@@ -178,7 +210,7 @@ type Result struct {
 
 const defaultMaxRounds = int64(1) << 40
 
-type yieldKind int
+type yieldKind int8
 
 const (
 	yieldRun  yieldKind = iota + 1 // scheduled wake
@@ -195,6 +227,11 @@ type outMsg struct {
 	msg  any
 }
 
+// nodeState holds the per-node state the scheduler does not scan per entry:
+// the coroutine handles, the message buffers, and the (cold) output/error/
+// span fields. The hot scheduling scalars — kind, halted, wake round, park
+// deadline, queue seq — live in struct-of-arrays form on the Engine, so the
+// stale-entry filter and batch loops touch dense arrays only.
 type nodeState struct {
 	id graph.NodeID
 
@@ -207,6 +244,10 @@ type nodeState struct {
 	stop    func()
 	yieldFn func(struct{}) bool
 
+	// ctx is the node's handle, embedded to avoid a separate allocation
+	// per node.
+	ctx Ctx
+
 	inbox []Inbound
 	// spare is the inbox double-buffer: the slice handed out at the last
 	// take becomes the fill buffer at the next one (see Ctx.take), so
@@ -214,17 +255,20 @@ type nodeState struct {
 	spare  []Inbound
 	outbox []outMsg
 
-	kind         yieldKind
-	wakeRound    int64
-	parkDeadline int64 // <0: none
-	seq          int64 // invalidates stale queue entries
-	halted       bool
-	output       any
-	perr         error
+	output any
+	perr   error
 
 	// spanStack holds the node's open ledger spans (innermost last); empty
 	// means the root span. Unused unless Config.RecordSpans.
 	spanStack []int32
+	// openSeq counts this node's OpenSpan calls; combined with the wake
+	// round and node ID it forms the deterministic first-open key that
+	// lets parallel runs reproduce the sequential ledger order (span.go).
+	openSeq int64
+	// resumeSpan is the span the node was in when the engine resumed it
+	// this round, captured before the resume runs so the post-barrier pass
+	// can attribute the awake round without re-reading mutated state.
+	resumeSpan int32
 }
 
 // Engine executes one Program on every node of a graph.
@@ -233,16 +277,41 @@ type Engine struct {
 	cfg Config
 
 	nodes []nodeState
+
+	// Struct-of-arrays scheduling state, indexed by node ID (see nodeState).
+	// During a parallel resume phase workers write only their own nodes'
+	// elements; everything else happens on the engine goroutine.
+	kind         []yieldKind
+	halted       []bool
+	wakeRound    []int64
+	parkDeadline []int64 // <0: none
+	seq          []int64 // invalidates stale queue entries
+	awakeEpoch   []int64
+
+	// met points at the in-flight run's metrics (resumeOne needs the
+	// per-node awake counters).
+	met *Metrics
+
 	// revFlat[revOff[u]+i] is the neighbor's adjacency index of the edge
 	// that is u's i-th edge (flat layout; EdgeIDs and adjacency offsets are
 	// dense, so no map is needed).
 	revOff  []int32
 	revFlat []int32
 
+	// pool is the intra-round worker pool, non-nil only while a parallel
+	// Run drives the round loop (Config.Workers > 1).
+	pool *resumePool
+
 	// Span ledger (Config.RecordSpans): interned (name, depth) spans and
-	// their counters; index 0 is the root span every node starts in.
-	spanIDs map[spanKey]int32
-	spans   []SpanMetrics
+	// their counters; index 0 is the root span every node starts in. In a
+	// parallel run spanMu guards interning (the one engine-shared mutation
+	// node programs perform) and spanFirst tracks each span's minimal
+	// (round, node, open-seq) key, which reproduces the sequential
+	// first-open order at ledger-emit time.
+	spanIDs   map[spanKey]int32
+	spans     []SpanMetrics
+	spanMu    sync.Mutex
+	spanFirst []spanFirstKey
 }
 
 // New creates an engine for one run over g. The graph must have sorted
@@ -296,6 +365,11 @@ func (e *Engine) buildReverseIndex() {
 func (e *Engine) start(p Program) *Result {
 	n := e.g.N()
 	e.nodes = make([]nodeState, n)
+	e.kind = make([]yieldKind, n)
+	e.halted = make([]bool, n)
+	e.wakeRound = make([]int64, n)
+	e.parkDeadline = make([]int64, n)
+	e.seq = make([]int64, n)
 	res := &Result{Outputs: make([]any, n)}
 	res.Metrics.PerEdgeMessages = make([]int64, e.g.M())
 	res.Metrics.PerNodeAwake = make([]int64, n)
@@ -308,10 +382,25 @@ func (e *Engine) start(p Program) *Result {
 		e.spanIDs = make(map[spanKey]int32)
 		e.internSpan(RootSpanName, 0)
 	}
+	// Buffer arenas: the initial inbox/spare/outbox capacity of every node
+	// is carved out of three shared chunks sized by degree (a node rarely
+	// holds more than one message per incident edge per wake). Three
+	// allocations replace ~3n individually grown slices at large n; a node
+	// that outgrows its carve reallocates to the heap via plain append.
+	total := 2 * e.g.M()
+	inArena := make([]Inbound, 0, total)
+	spArena := make([]Inbound, 0, total)
+	outArena := make([]outMsg, 0, total)
+	off := 0
 	for i := 0; i < n; i++ {
 		ns := &e.nodes[i]
 		ns.id = graph.NodeID(i)
-		ctx := &Ctx{eng: e, ns: ns}
+		deg := e.g.Degree(graph.NodeID(i))
+		ns.inbox = inArena[off : off : off+deg]
+		ns.spare = spArena[off : off : off+deg]
+		ns.outbox = outArena[off : off : off+deg]
+		off += deg
+		ns.ctx = Ctx{eng: e, ns: ns}
 		ns.resume, ns.stop = iter.Pull(func(yield func(struct{}) bool) {
 			ns.yieldFn = yield
 			defer func() {
@@ -322,12 +411,28 @@ func (e *Engine) start(p Program) *Result {
 					}
 					ns.perr = fmt.Errorf("node %d panicked: %v", ns.id, r)
 				}
-				ns.kind = yieldHalt
+				e.kind[ns.id] = yieldHalt
 			}()
-			p(ctx)
+			p(&ns.ctx)
 		})
 	}
 	return res
+}
+
+// resumeOne performs the node-local half of one wake: epoch/awake counters,
+// the span snapshot, the round stamp, and the coroutine switch itself. It
+// touches only state owned by node id (distinct array elements, the node's
+// own struct), which is what makes it safe to run for all batched nodes
+// concurrently; every cross-node effect waits for the post-barrier pass.
+func (e *Engine) resumeOne(id graph.NodeID, cur int64) {
+	ns := &e.nodes[id]
+	e.awakeEpoch[id] = cur
+	e.met.PerNodeAwake[id]++
+	if e.cfg.RecordSpans {
+		ns.resumeSpan = ns.curSpan()
+	}
+	e.wakeRound[id] = cur
+	ns.resume()
 }
 
 // Run executes the program on all nodes until every node halts (or an error
@@ -336,6 +441,17 @@ func (e *Engine) start(p Program) *Result {
 func (e *Engine) Run(p Program) (*Result, error) {
 	res := e.start(p)
 	defer e.shutdown()
+	e.met = &res.Metrics
+
+	if e.cfg.Workers > 1 {
+		e.pool = newResumePool(e, e.cfg.Workers)
+		defer e.pool.close()
+		if e.cfg.RecordSpans {
+			// The root span was interned in start, before parallel keying
+			// was active; pin it to the minimal key so it stays first.
+			e.spanFirst = append(e.spanFirst, spanFirstKey{round: -1, node: -1})
+		}
+	}
 
 	n := e.g.N()
 	met := &res.Metrics
@@ -353,9 +469,9 @@ func (e *Engine) Run(p Program) (*Result, error) {
 	for i := range dirSeen {
 		dirSeen[i] = -1
 	}
-	awakeEpoch := make([]int64, n)
-	for i := range awakeEpoch {
-		awakeEpoch[i] = -1
+	e.awakeEpoch = make([]int64, n)
+	for i := range e.awakeEpoch {
+		e.awakeEpoch[i] = -1
 	}
 
 	var cur int64 = -1
@@ -375,13 +491,12 @@ func (e *Engine) Run(p Program) (*Result, error) {
 		}
 		batch = batch[:0]
 		for _, bw := range q.take(cur) {
-			ns := &e.nodes[bw.id]
-			if ns.halted || ns.seq != bw.seq {
+			if e.halted[bw.id] || e.seq[bw.id] != bw.seq {
 				continue // stale entry
 			}
-			if ns.kind == yieldPark {
+			if e.kind[bw.id] == yieldPark {
 				// Deadline expiry of a parked node.
-				ns.kind = yieldRun
+				e.kind[bw.id] = yieldRun
 				parked--
 			}
 			batch = append(batch, bw.id)
@@ -394,39 +509,52 @@ func (e *Engine) Run(p Program) (*Result, error) {
 		}
 		// Attribute the elapsed interval ending at this round to the span
 		// of the earliest-resumed node (see span.go: the rule that makes
-		// per-span rounds an exact partition of Metrics.Rounds).
+		// per-span rounds an exact partition of Metrics.Rounds). Read
+		// before any resume mutates span stacks.
 		if e.cfg.RecordSpans && len(batch) > 0 {
 			e.spans[e.nodes[batch[0]].curSpan()].Rounds += cur - spanPrev
 			spanPrev = cur
 		}
+		// Resume phase: within the round every batched node acts
+		// independently, so the coroutine resumes may run concurrently.
+		// Small batches stay inline — the barrier handoff would cost more
+		// than it buys.
+		if e.pool != nil && len(batch) >= e.pool.minBatch {
+			e.pool.runRound(batch, cur)
+		} else {
+			for _, id := range batch {
+				e.resumeOne(id, cur)
+			}
+		}
+		// Post-barrier pass in node-ID order: exactly the engine-side
+		// effects the sequential engine interleaves with the resumes —
+		// error selection (lowest node ID wins, matching the order the
+		// sequential engine hits a panic in), awake/span accounting, halt
+		// bookkeeping, and wake-queue pushes.
 		for _, id := range batch {
 			ns := &e.nodes[id]
-			awakeEpoch[id] = cur
-			met.PerNodeAwake[id]++
-			met.TotalAwake++
-			if e.cfg.RecordSpans {
-				e.spans[ns.curSpan()].AwakeRounds++
-			}
-			ns.wakeRound = cur
-			ns.resume()
 			if ns.perr != nil {
-				ns.halted = true // coroutine has exited
+				e.halted[id] = true // coroutine has exited
 				return nil, ns.perr
 			}
-			switch ns.kind {
+			met.TotalAwake++
+			if e.cfg.RecordSpans {
+				e.spans[ns.resumeSpan].AwakeRounds++
+			}
+			switch e.kind[id] {
 			case yieldHalt:
-				ns.halted = true
+				e.halted[id] = true
 				halted++
 				res.Outputs[id] = ns.output
 			case yieldPark:
 				parked++
-				if ns.parkDeadline >= 0 {
-					ns.seq++
-					q.push(ns.parkDeadline, id, ns.seq)
+				if e.parkDeadline[id] >= 0 {
+					e.seq[id]++
+					q.push(e.parkDeadline[id], id, e.seq[id])
 				}
 			case yieldRun:
-				ns.seq++
-				q.push(ns.wakeRound, id, ns.seq)
+				e.seq[id]++
+				q.push(e.wakeRound[id], id, e.seq[id])
 			}
 		}
 		// Deliver this round's messages in sender-ID order.
@@ -478,25 +606,25 @@ func (e *Engine) Run(p Program) (*Result, error) {
 				if e.cfg.RecordTrace {
 					res.Trace = append(res.Trace, TraceEntry{cur, h.ID, byte(dirBit)})
 				}
-				dst := &e.nodes[h.To]
 				switch {
-				case dst.halted:
+				case e.halted[h.To]:
 					met.DroppedAfterHalt++
-				case e.cfg.Model == Sleeping && awakeEpoch[h.To] != cur:
+				case e.cfg.Model == Sleeping && e.awakeEpoch[h.To] != cur:
 					met.LostMessages++
 				default:
+					dst := &e.nodes[h.To]
 					dst.inbox = append(dst.inbox, Inbound{
 						From:    id,
 						NbIndex: int(rev[om.nbIndex]),
 						Round:   cur,
 						Msg:     om.msg,
 					})
-					if dst.kind == yieldPark {
-						dst.kind = yieldRun
-						dst.wakeRound = cur + 1
-						dst.seq++
+					if e.kind[h.To] == yieldPark {
+						e.kind[h.To] = yieldRun
+						e.wakeRound[h.To] = cur + 1
+						e.seq[h.To]++
 						parked--
-						q.push(cur+1, h.To, dst.seq)
+						q.push(cur+1, h.To, e.seq[h.To])
 					}
 				}
 			}
@@ -517,7 +645,7 @@ func (e *Engine) Run(p Program) (*Result, error) {
 		}
 	}
 	if e.cfg.RecordSpans {
-		met.Spans = e.spans
+		met.Spans = e.ledger()
 	}
 	return res, nil
 }
