@@ -59,22 +59,27 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		history    = flag.String("history", "dsssp-history", "append-only bench history directory")
-		cacheBytes = flag.Int64("cache-bytes", 64<<20, "result cache byte budget")
-		workers    = flag.Int("workers", 0, "query worker pool size (0 = NumCPU)")
-		intraCap   = flag.Int("max-intra", 0, "cap on a query's intra-round simulation workers (0 = NumCPU, 1 = force sequential; results are byte-identical either way)")
-		sweeps     = flag.Int("max-sweeps", 1, "sweep jobs allowed to run concurrently")
-		rev        = flag.String("rev", "", "git revision label for stored reports (default: git rev-parse --short HEAD, else \"unknown\")")
-		maxN       = flag.Int("max-n", 4096, "largest accepted graph size")
-		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this private address (empty = disabled)")
-		slowQuery  = flag.Duration("slow-query", time.Second, "log requests slower than this at Warn")
-		logLevel   = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
-		load       = flag.String("load", "", "run the service-load workload against this base URL instead of serving")
-		loadReqs   = flag.Int("load-requests", 200, "service-load: total requests")
-		loadConc   = flag.Int("load-concurrency", 8, "service-load: concurrent clients")
-		loadGraphs = flag.Int("load-graphs", 4, "service-load: distinct graphs (requests >> graphs ⇒ cache-hit steady state)")
-		loadN      = flag.Int("load-n", 48, "service-load: graph size")
+		addr        = flag.String("addr", ":8080", "listen address")
+		history     = flag.String("history", "dsssp-history", "append-only bench history directory")
+		cacheBytes  = flag.Int64("cache-bytes", 64<<20, "result cache byte budget")
+		graphBytes  = flag.Int64("graph-bytes", 256<<20, "dynamic-graph registry byte budget (registered graphs + per-source traces)")
+		workers     = flag.Int("workers", 0, "query worker pool size (0 = NumCPU)")
+		intraCap    = flag.Int("max-intra", 0, "cap on a query's intra-round simulation workers (0 = NumCPU, 1 = force sequential; results are byte-identical either way)")
+		sweeps      = flag.Int("max-sweeps", 1, "sweep jobs allowed to run concurrently")
+		rev         = flag.String("rev", "", "git revision label for stored reports (default: git rev-parse --short HEAD, else \"unknown\")")
+		maxN        = flag.Int("max-n", 4096, "largest accepted graph size")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this private address (empty = disabled)")
+		slowQuery   = flag.Duration("slow-query", time.Second, "log requests slower than this at Warn")
+		logLevel    = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+		load        = flag.String("load", "", "run the service-load workload against this base URL instead of serving")
+		loadDynamic = flag.String("load-dynamic", "", "run the dynamic-graph workload (register, interleave PATCHes with per-source queries) against this base URL instead of serving")
+		loadReqs    = flag.Int("load-requests", 200, "service-load: total requests")
+		loadConc    = flag.Int("load-concurrency", 8, "service-load: concurrent clients")
+		loadGraphs  = flag.Int("load-graphs", 4, "service-load: distinct graphs (requests >> graphs ⇒ cache-hit steady state)")
+		loadN       = flag.Int("load-n", 48, "service-load: graph size")
+		loadSrcs    = flag.Int("load-sources", 32, "dynamic load: distinct query sources")
+		loadPatchEv = flag.Int("load-patch-every", 50, "dynamic load: one single-edge PATCH per this many queries")
+		loadSeed    = flag.Int64("load-seed", 1, "dynamic load: graph and patch-stream seed")
 	)
 	flag.Parse()
 
@@ -84,6 +89,13 @@ func main() {
 	if *load != "" {
 		runLoad(ctx, *load, service.LoadOptions{
 			Concurrency: *loadConc, Requests: *loadReqs, Graphs: *loadGraphs, N: *loadN,
+		})
+		return
+	}
+	if *loadDynamic != "" {
+		runLoadDynamic(ctx, *loadDynamic, service.DynamicLoadOptions{
+			Concurrency: *loadConc, Requests: *loadReqs, N: *loadN,
+			Sources: *loadSrcs, PatchEvery: *loadPatchEv, Seed: *loadSeed,
 		})
 		return
 	}
@@ -99,6 +111,7 @@ func main() {
 	srv, err := service.New(service.Config{
 		HistoryDir:          *history,
 		CacheBytes:          *cacheBytes,
+		GraphBytes:          *graphBytes,
 		Workers:             *workers,
 		MaxIntraWorkers:     *intraCap,
 		MaxConcurrentSweeps: *sweeps,
@@ -166,6 +179,25 @@ func runLoad(ctx context.Context, baseURL string, opt service.LoadOptions) {
 	enc.Encode(rep)
 	fmt.Fprintf(os.Stderr, "dsssp-serve: load: %d requests, %.0f%% cache hits, %.1f req/s, %d errors\n",
 		rep.Requests, 100*rep.HitRate, rep.RPS, rep.Errors)
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// runLoadDynamic drives the dynamic-graph workload and prints the JSON
+// report: reuse rate plus the reused/recomputed latency split.
+func runLoadDynamic(ctx context.Context, baseURL string, opt service.DynamicLoadOptions) {
+	rep, err := service.RunLoadDynamic(ctx, nil, strings.TrimRight(baseURL, "/"), opt)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		die(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
+	fmt.Fprintf(os.Stderr,
+		"dsssp-serve: dynamic load: %d requests, %d patches, %.0f%% reused (p50 %.2fms) vs recomputed (p50 %.2fms), %d errors\n",
+		rep.Requests, rep.Patches, 100*rep.ReuseRate,
+		float64(rep.ReusedP50NS)/1e6, float64(rep.RecomputedP50NS)/1e6, rep.Errors)
 	if rep.Errors > 0 {
 		os.Exit(1)
 	}

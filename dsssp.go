@@ -79,6 +79,27 @@ type Graph = graph.Graph
 // property the serving layer's content-addressed result cache keys on.
 func NewGraph(n int) *Graph { return graph.New(n) }
 
+// EdgeDelta is one edge mutation (insert / delete / reweight) in a batched
+// graph update; see ApplyDeltas.
+type EdgeDelta = graph.EdgeDelta
+
+// Edge-delta operations, re-exported for ApplyDeltas batches.
+const (
+	DeltaInsert   = graph.DeltaInsert
+	DeltaDelete   = graph.DeltaDelete
+	DeltaReweight = graph.DeltaReweight
+)
+
+// ApplyDeltas returns a new graph equal to g with the edge deltas applied
+// in order, leaving g untouched. Inserting an existing pair merges under
+// the same keep-min policy as AddEdge and the result is rebuilt in
+// canonical edge order, so a patched graph remains a pure function of its
+// edge set — the invariant the serving layer's dynamic-graph revisions and
+// content-addressed cache rely on.
+func ApplyDeltas(g *Graph, deltas []EdgeDelta) (*Graph, error) {
+	return graph.ApplyDeltas(g, deltas)
+}
+
 // Metrics re-exports the simulator's complexity measures: Rounds (time),
 // MaxEdgeMessages (congestion), MaxAwake (energy), Messages, and more.
 type Metrics = simnet.Metrics
@@ -252,6 +273,17 @@ type APSPResult struct {
 // over Options.Workers goroutines (default runtime.NumCPU()); traces are
 // composed in source order, so the result is identical to a sequential run.
 func APSP(g *Graph, opts *Options, seed int64) (*APSPResult, error) {
+	return APSPFrom(g, nil, opts, seed)
+}
+
+// APSPFrom is APSP restricted to the given sources (nil means all n). The
+// per-source instances run and compose exactly as in APSP, so for the same
+// seed a source's distance row is identical whether it was computed in a
+// full or a partial fan-out — which is what lets the serving layer's
+// incremental path recompute only the sources an edge delta dirtied and
+// reuse every other cached row verbatim. Dist rows for sources outside the
+// set stay nil, and Composition covers only the instances actually run.
+func APSPFrom(g *Graph, sources []NodeID, opts *Options, seed int64) (*APSPResult, error) {
 	_, copt, err := opts.resolved()
 	if err != nil {
 		return nil, err
@@ -265,7 +297,7 @@ func APSP(g *Graph, opts *Options, seed int64) (*APSPResult, error) {
 		out.Dist[s] = d
 		return sched.Trace{Entries: tr, Rounds: met.Rounds, MaxMessageBits: met.MaxMessageBits, Spans: met.Spans}, nil
 	}
-	comp, err := sched.APSPParallel(g, nil, runner, seed, opts.workers())
+	comp, err := sched.APSPParallel(g, sources, runner, seed, opts.workers())
 	if err != nil {
 		return nil, err
 	}

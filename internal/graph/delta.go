@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DeltaOp names one edge-delta operation.
+type DeltaOp uint8
+
+// Edge-delta operations.
+const (
+	// DeltaInsert adds edge {U,V} with weight W. Inserting a pair that
+	// already exists merges under the same keep-min policy as AddEdge, so a
+	// patched graph stays a pure function of its edge set.
+	DeltaInsert DeltaOp = iota + 1
+	// DeltaDelete removes edge {U,V} (W is ignored). Deleting a missing
+	// edge is an error: the caller's picture of the graph is stale, and a
+	// silent no-op would hide that.
+	DeltaDelete
+	// DeltaReweight sets edge {U,V}'s weight to W exactly — up or down,
+	// unlike the insert merge. Reweighting a missing edge is an error.
+	DeltaReweight
+)
+
+func (op DeltaOp) String() string {
+	switch op {
+	case DeltaInsert:
+		return "insert"
+	case DeltaDelete:
+		return "delete"
+	case DeltaReweight:
+		return "reweight"
+	default:
+		return fmt.Sprintf("delta-op(%d)", uint8(op))
+	}
+}
+
+// EdgeDelta is one edge mutation in a batch.
+type EdgeDelta struct {
+	Op   DeltaOp
+	U, V NodeID
+	W    int64
+}
+
+func (d EdgeDelta) String() string {
+	if d.Op == DeltaDelete {
+		return fmt.Sprintf("%s{%d,%d}", d.Op, d.U, d.V)
+	}
+	return fmt.Sprintf("%s{%d,%d}w=%d", d.Op, d.U, d.V, d.W)
+}
+
+// ApplyDeltas returns a new graph equal to g with the deltas applied in
+// order, leaving g untouched. The node count is fixed; only edges change.
+// The result is rebuilt from the patched edge set in canonical order
+// (sorted by endpoints), so — like every generator- or inline-built graph —
+// it is a pure function of its edge set: EdgeIDs are reassigned densely and
+// two delta paths reaching the same edge set produce identical graphs,
+// which is what lets the serving layer content-address patched revisions.
+//
+// Validation is strict: self-loops, out-of-range endpoints, and negative
+// weights are rejected, as are deletes/reweights of edges that do not exist
+// at that point in the batch (insert-then-delete within one batch is fine).
+func ApplyDeltas(g *Graph, deltas []EdgeDelta) (*Graph, error) {
+	// Working weight map of the patched edge set, seeded from g.
+	weights := make(map[uint64]int64, g.M()+len(deltas))
+	for _, e := range g.Edges() {
+		weights[pairKey(e.U, e.V)] = e.W
+	}
+	for i, d := range deltas {
+		if d.U == d.V {
+			return nil, fmt.Errorf("graph: delta %d (%s): self-loop at node %d", i, d, d.U)
+		}
+		if d.U < 0 || int(d.U) >= g.n || d.V < 0 || int(d.V) >= g.n {
+			return nil, fmt.Errorf("graph: delta %d (%s): endpoints out of range [0,%d)", i, d, g.n)
+		}
+		key := pairKey(d.U, d.V)
+		w, exists := weights[key]
+		switch d.Op {
+		case DeltaInsert:
+			if d.W < 0 {
+				return nil, fmt.Errorf("graph: delta %d (%s): negative weight", i, d)
+			}
+			if !exists || d.W < w {
+				weights[key] = d.W
+			}
+		case DeltaDelete:
+			if !exists {
+				return nil, fmt.Errorf("graph: delta %d (%s): edge does not exist", i, d)
+			}
+			delete(weights, key)
+		case DeltaReweight:
+			if d.W < 0 {
+				return nil, fmt.Errorf("graph: delta %d (%s): negative weight", i, d)
+			}
+			if !exists {
+				return nil, fmt.Errorf("graph: delta %d (%s): edge does not exist", i, d)
+			}
+			weights[key] = d.W
+		default:
+			return nil, fmt.Errorf("graph: delta %d: unknown op %d", i, uint8(d.Op))
+		}
+	}
+	keys := make([]uint64, 0, len(weights))
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	ng := New(g.n)
+	for _, k := range keys {
+		ng.AddEdge(NodeID(k>>32), NodeID(uint32(k)), weights[k])
+	}
+	ng.SortAdj()
+	return ng, nil
+}

@@ -22,7 +22,18 @@ func badf(format string, args ...any) error {
 	return badRequest{fmt.Errorf(format, args...)}
 }
 
-// GraphSpec describes a query's input graph, one of two ways:
+// notFoundErr marks an error as naming a resource that is not there
+// (HTTP 404).
+type notFoundErr struct{ err error }
+
+func (e notFoundErr) Error() string { return e.err.Error() }
+func (e notFoundErr) Unwrap() error { return e.err }
+
+func notfoundf(format string, args ...any) error {
+	return notFoundErr{fmt.Errorf(format, args...)}
+}
+
+// GraphSpec describes a query's input graph, one of three ways:
 //
 //   - inline: "n" plus "edges" ([[u,v,w], …]); duplicate pairs merge under
 //     the keep-min policy and the edge list is canonicalized (sorted), so
@@ -30,9 +41,16 @@ func badf(format string, args ...any) error {
 //     the same cache entry;
 //   - generator: "family" (one of the registered generator families) plus
 //     "n", "seed", and an optional weight spec — the graph is materialized
-//     server-side exactly like the bench harness does it.
+//     server-side exactly like the bench harness does it;
+//   - registered: "graph_id" names a graph registered via POST /v1/graphs;
+//     the query runs against its head revision (the handle's current
+//     content after any PATCHes), mutually exclusive with every other
+//     field.
 type GraphSpec struct {
-	N     int        `json:"n"`
+	// ID names a registered graph (POST /v1/graphs); mutually exclusive
+	// with the inline and generator fields.
+	ID    string     `json:"graph_id,omitempty"`
+	N     int        `json:"n,omitempty"`
 	Edges [][3]int64 `json:"edges,omitempty"`
 	// Family selects a generator family (path, cycle, tree, grid, random,
 	// cluster, star, expander, barbell, powerlaw, bfgadget, disconnected);
@@ -152,13 +170,84 @@ type CompositionJSON struct {
 	MaxMessageBits     int64 `json:"max_message_bits,omitempty"`
 }
 
-// APSPResponse is the POST /v1/apsp result.
+// APSPResponse is the POST /v1/apsp result. For registered graphs served
+// incrementally, Incr reports the per-source reuse split and Composition
+// covers only the recomputed instances (distance rows are byte-identical
+// to a from-scratch run either way; the composition of instances that were
+// never re-run is unknowable without re-running them).
 type APSPResponse struct {
 	N           int                 `json:"n"`
 	M           int                 `json:"m"`
 	Dist        [][]int64           `json:"dist"`
 	Composition CompositionJSON     `json:"composition"`
 	Phases      []harness.PhaseStat `json:"phases,omitempty"`
+	Incr        *IncrJSON           `json:"incr,omitempty"`
+}
+
+// IncrJSON is the incremental-serving split of an APSP response: how many
+// per-source instances were served from cached rows vs actually re-run.
+type IncrJSON struct {
+	SourcesReused     int `json:"sources_reused"`
+	SourcesRecomputed int `json:"sources_recomputed"`
+}
+
+// RegisterRequest is the POST /v1/graphs body: the graph to register,
+// inline or by generator spec (graph_id is, naturally, rejected here).
+type RegisterRequest struct {
+	Graph GraphSpec `json:"graph"`
+}
+
+// GraphListResponse is the GET /v1/graphs body.
+type GraphListResponse struct {
+	Graphs []GraphInfo `json:"graphs"`
+}
+
+// DeltaJSON is one edge mutation in a PATCH /v1/graphs/{id}/edges batch.
+type DeltaJSON struct {
+	// Op is "insert", "delete", or "reweight".
+	Op string `json:"op"`
+	U  int64  `json:"u"`
+	V  int64  `json:"v"`
+	// W is the weight for insert/reweight; ignored for delete.
+	W int64 `json:"w,omitempty"`
+}
+
+// PatchRequest is the PATCH /v1/graphs/{id}/edges body: a batch of edge
+// deltas applied atomically, producing one new revision.
+type PatchRequest struct {
+	Deltas []DeltaJSON `json:"deltas"`
+}
+
+// parseDeltas validates the wire deltas against the target graph's node
+// range and maps them onto graph.EdgeDelta.
+func parseDeltas(ds []DeltaJSON, n int) ([]graph.EdgeDelta, error) {
+	if len(ds) == 0 {
+		return nil, badf("deltas must be a non-empty array")
+	}
+	out := make([]graph.EdgeDelta, len(ds))
+	for i, d := range ds {
+		var op graph.DeltaOp
+		switch d.Op {
+		case "insert":
+			op = graph.DeltaInsert
+		case "delete":
+			op = graph.DeltaDelete
+		case "reweight":
+			op = graph.DeltaReweight
+		default:
+			return nil, badf("delta %d: unknown op %q (insert, delete, reweight)", i, d.Op)
+		}
+		switch {
+		case d.U == d.V:
+			return nil, badf("delta %d: self-loop at node %d", i, d.U)
+		case d.U < 0 || d.U >= int64(n) || d.V < 0 || d.V >= int64(n):
+			return nil, badf("delta %d: endpoints {%d,%d} out of range [0,%d)", i, d.U, d.V, n)
+		case op != graph.DeltaDelete && d.W < 0:
+			return nil, badf("delta %d: negative weight %d", i, d.W)
+		}
+		out[i] = graph.EdgeDelta{Op: op, U: graph.NodeID(d.U), V: graph.NodeID(d.V), W: d.W}
+	}
+	return out, nil
 }
 
 // ErrorResponse is every non-2xx body: human prose in Error, a stable
@@ -175,6 +264,12 @@ type ErrorResponse struct {
 // duplicates merged keep-min) before insertion so the simulation — not
 // just the cache key — is a pure function of the edge set.
 func buildGraph(spec GraphSpec, maxN, maxEdges int) (*graph.Graph, error) {
+	if spec.ID != "" {
+		// Handles are resolved by the caller (Server.prepare); a spec that
+		// reaches materialization with one set is a caller that cannot
+		// honor it.
+		return nil, badf("graph.graph_id is not accepted here (inline or generator spec required)")
+	}
 	if spec.Family != "" {
 		return buildGeneratorGraph(spec, maxN)
 	}

@@ -7,12 +7,32 @@ import (
 	"sync"
 )
 
+// entryOverhead approximates the per-entry bookkeeping bytes the Go heap
+// pays beyond key and body: the list.Element (4 pointers + value header),
+// the centry header, and the items map's bucket share. Charging it keeps
+// the byte budget honest under many small entries — a cache full of
+// 100-byte bodies behind 64-byte keys is mostly overhead, and a budget
+// that only counted bodies would blow its memory target several-fold.
+const entryOverhead = 128
+
+// entryCost is the bytes an entry is charged against the budget: body,
+// key, and fixed per-entry overhead.
+func entryCost(key string, body []byte) int64 {
+	return int64(len(key)) + int64(len(body)) + entryOverhead
+}
+
 // Cache is the content-addressed result cache: finished response bodies
 // keyed by queryKey, evicted LRU under a byte budget, with in-flight
 // deduplication — concurrent identical misses run the computation once and
 // every waiter gets the same bytes. The whole-graph answers the paper's
 // APSP ramification makes expensive are exactly cacheable (deterministic
 // algorithms on content-addressed inputs), so repeats cost a map lookup.
+//
+// For registered graphs the key embeds the graph *revision* digest, which
+// is what makes invalidation edge-granular: a PATCH migrates (Copy) the
+// entries of sources its deltas provably cannot affect to the new
+// revision's keys and drops (Invalidate) exactly the dirty ones, instead
+// of orphaning the whole graph's worth of results.
 type Cache struct {
 	mu      sync.Mutex
 	budget  int64
@@ -62,6 +82,23 @@ func NewCache(budget int64) *Cache {
 // instead of inheriting the 499. Genuine compute errors propagate to
 // every waiter unretried.
 func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (body []byte, hit bool, err error) {
+	return c.getOrCompute(key, func() ([]byte, bool, error) {
+		b, err := compute()
+		return b, true, err
+	})
+}
+
+// GetOrComputeEx is GetOrCompute for computations that decide at run time
+// whether their bytes are cacheable: compute additionally returns store —
+// false means the body is served (and shared with concurrent identical
+// waiters) but not inserted, for responses that are not pure functions of
+// the key (the incremental-APSP assembly, whose reuse split depends on
+// what happened to be cached).
+func (c *Cache) GetOrComputeEx(key string, compute func() ([]byte, bool, error)) (body []byte, hit bool, err error) {
+	return c.getOrCompute(key, compute)
+}
+
+func (c *Cache) getOrCompute(key string, compute func() ([]byte, bool, error)) (body []byte, hit bool, err error) {
 	for {
 		c.mu.Lock()
 		if el, ok := c.items[key]; ok {
@@ -100,12 +137,13 @@ func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (body [
 // panics into a 500, so a panicking input must not leave followers parked
 // on f.done forever and the key permanently poisoned). The panic
 // propagates to the leader after cleanup; followers see a plain error.
-func (c *Cache) lead(key string, f *flight, compute func() ([]byte, error)) {
+func (c *Cache) lead(key string, f *flight, compute func() ([]byte, bool, error)) {
 	completed := false
+	store := false
 	defer func() {
 		c.mu.Lock()
 		delete(c.flights, key)
-		if completed && f.err == nil {
+		if completed && store && f.err == nil {
 			c.insertLocked(key, f.body)
 		}
 		c.mu.Unlock()
@@ -114,14 +152,47 @@ func (c *Cache) lead(key string, f *flight, compute func() ([]byte, error)) {
 		}
 		close(f.done)
 	}()
-	f.body, f.err = compute()
+	f.body, store, f.err = compute()
 	completed = true
 }
 
+// Copy duplicates the entry at src under dst (sharing the body bytes —
+// entries are immutable) and reports whether src was resident. This is the
+// reuse half of edge-granular invalidation: a PATCH carries an untouched
+// source's result forward to the new revision's key without recomputing or
+// copying the payload.
+func (c *Cache) Copy(src, dst string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[src]
+	if !ok {
+		return false
+	}
+	c.insertLocked(dst, el.Value.(*centry).body)
+	return true
+}
+
+// Invalidate removes the given keys and returns how many were resident —
+// the dirty half of edge-granular invalidation (a PATCH drops exactly the
+// sources its deltas can affect; everything else stays warm).
+func (c *Cache) Invalidate(keys ...string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, key := range keys {
+		if el, ok := c.items[key]; ok {
+			c.removeLocked(el)
+			n++
+		}
+	}
+	return n
+}
+
 // insertLocked adds an entry and evicts LRU entries until the budget
-// holds. Bodies larger than the whole budget are served but not stored.
+// holds. Bodies whose charged cost exceeds the whole budget are served but
+// not stored.
 func (c *Cache) insertLocked(key string, body []byte) {
-	if int64(len(body)) > c.budget {
+	if entryCost(key, body) > c.budget {
 		return
 	}
 	if el, ok := c.items[key]; ok { // lost a race against a concurrent fill
@@ -129,18 +200,23 @@ func (c *Cache) insertLocked(key string, body []byte) {
 		return
 	}
 	c.items[key] = c.ll.PushFront(&centry{key: key, body: body})
-	c.used += int64(len(body))
+	c.used += entryCost(key, body)
 	for c.used > c.budget {
 		back := c.ll.Back()
 		if back == nil {
 			break
 		}
-		e := back.Value.(*centry)
-		c.ll.Remove(back)
-		delete(c.items, e.key)
-		c.used -= int64(len(e.body))
+		c.removeLocked(back)
 		c.evictions++
 	}
+}
+
+// removeLocked drops an entry and refunds its charged cost.
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*centry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.used -= entryCost(e.key, e.body)
 }
 
 // CacheStats is the observable cache state (GET /v1/stats and the
@@ -153,8 +229,11 @@ type CacheStats struct {
 	// computation (concurrent identical misses collapsed); ⊆ Hits.
 	SingleflightDedup int64 `json:"singleflight_dedup"`
 	Entries           int   `json:"entries"`
-	BytesUsed         int64 `json:"bytes_used"`
-	Budget            int64 `json:"bytes_budget"`
+	// BytesUsed is the charged footprint: bodies plus keys plus the fixed
+	// per-entry overhead (see entryOverhead), so it tracks real memory,
+	// not just payload bytes.
+	BytesUsed int64 `json:"bytes_used"`
+	Budget    int64 `json:"bytes_budget"`
 }
 
 // Stats snapshots the counters.

@@ -32,20 +32,22 @@ func TestCacheHitMiss(t *testing.T) {
 		t.Fatalf("second access: hit=%v body=%q", hit, got)
 	}
 	st := c.Stats()
-	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.BytesUsed != int64(len(body)) {
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.BytesUsed != entryCost("k", body) {
 		t.Fatalf("stats = %+v", st)
 	}
 }
 
 func TestCacheEvictionUnderByteBudget(t *testing.T) {
-	// Budget for exactly two 100-byte bodies.
-	c := NewCache(200)
+	// Budget for exactly two entries (each: 100-byte body + 2-byte key +
+	// the fixed per-entry overhead).
 	body := func(i int) []byte { return bytes.Repeat([]byte{byte(i)}, 100) }
+	budget := 2 * entryCost("k0", body(0))
+	c := NewCache(budget)
 	for i := 0; i < 3; i++ {
 		mustCompute(t, c, fmt.Sprintf("k%d", i), body(i))
 	}
 	st := c.Stats()
-	if st.Entries != 2 || st.Evictions != 1 || st.BytesUsed != 200 {
+	if st.Entries != 2 || st.Evictions != 1 || st.BytesUsed != budget {
 		t.Fatalf("stats after overflow = %+v", st)
 	}
 	// k0 was least recently used and must be gone; k1, k2 remain.
@@ -67,6 +69,40 @@ func TestCacheEvictionUnderByteBudget(t *testing.T) {
 	}
 	if c.Stats().Evictions <= st.Evictions {
 		t.Fatalf("no eviction recorded: %+v", c.Stats())
+	}
+}
+
+// TestCacheCostIncludesKeyAndOverhead pins the accounting fix: an entry is
+// charged for its key and fixed per-entry overhead, not just its body.
+// Under body-only accounting a flood of tiny entries would never overflow
+// the budget while the real heap footprint (keys, list elements, map
+// buckets) grew without bound.
+func TestCacheCostIncludesKeyAndOverhead(t *testing.T) {
+	c := NewCache(1 << 10)
+	mustCompute(t, c, "some-64-char-hex-key-standing-in-for-a-sha256-address", []byte{})
+	st := c.Stats()
+	if want := entryCost("some-64-char-hex-key-standing-in-for-a-sha256-address", nil); st.BytesUsed != want {
+		t.Fatalf("empty-body entry charged %d bytes, want %d (key + overhead)", st.BytesUsed, want)
+	}
+	if st.BytesUsed <= entryOverhead {
+		t.Fatalf("charge %d does not include the key", st.BytesUsed)
+	}
+
+	// 1-byte bodies under a budget that holds ~7 full entries but would
+	// hold hundreds under body-only accounting: eviction must kick in.
+	c = NewCache(1 << 10)
+	for i := 0; i < 300; i++ {
+		mustCompute(t, c, fmt.Sprintf("key-%03d", i), []byte{byte(i)})
+	}
+	st = c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("tiny-body flood evicted nothing: %+v", st)
+	}
+	if st.BytesUsed > st.Budget {
+		t.Fatalf("budget overrun: %+v", st)
+	}
+	if want := int64(st.Entries) * entryCost("key-000", []byte{0}); st.BytesUsed != want {
+		t.Fatalf("resident charge %d, want %d entries x %d", st.BytesUsed, st.Entries, entryCost("key-000", []byte{0}))
 	}
 }
 

@@ -41,16 +41,13 @@ func canonicalGraphDigest(g *graph.Graph) [32]byte {
 	return out
 }
 
-// queryKey is the content address of one query result: endpoint ×
-// canonical graph × normalized options × query operands. Two requests with
-// the same key are the same computation, so the cache may serve either's
-// bytes for both. Only options that can change the response bytes
-// participate: QueryOptions.Workers (intra-round parallelism) is
-// deliberately absent, because the parallel engine is byte-identical to
-// the sequential one — folding it in would split one computation across
-// cache entries for no reason (pinned by TestQueryKeyIgnoresWorkers).
-func queryKey(endpoint string, g *graph.Graph, o QueryOptions, operands string) string {
-	gd := canonicalGraphDigest(g)
+// queryKeyParts is the graph-independent half of a cache key: endpoint ×
+// normalized options × query operands. Splitting the key this way is what
+// makes edge-granular invalidation cheap — a PATCH that leaves a source
+// untouched re-addresses its entries by hashing the *same* parts against
+// the new revision digest (keyFromDigest), no recomputation and no
+// knowledge of the original request needed beyond this string.
+func queryKeyParts(endpoint string, o QueryOptions, operands string) string {
 	// Normalize the option encoding so semantically identical requests
 	// share an entry: the model default is spelled out, the ε default 1/2
 	// is applied, and the fraction is reduced.
@@ -65,9 +62,28 @@ func queryKey(endpoint string, g *graph.Graph, o QueryOptions, operands string) 
 	if g := gcd(en, ed); g > 1 {
 		en, ed = en/g, ed/g
 	}
-	h := sha256.Sum256(fmt.Appendf(nil, "%s|%x|model=%s|eps=%d/%d|strict=%v|maxr=%d|phases=%v|%s",
-		endpoint, gd, model, en, ed, o.StrictCongest, o.MaxRounds, o.RecordPhases, operands))
+	return fmt.Sprintf("%s|model=%s|eps=%d/%d|strict=%v|maxr=%d|phases=%v|%s",
+		endpoint, model, en, ed, o.StrictCongest, o.MaxRounds, o.RecordPhases, operands)
+}
+
+// keyFromDigest addresses one query result by graph-revision digest plus
+// the normalized parts string.
+func keyFromDigest(digest [32]byte, parts string) string {
+	h := sha256.Sum256(fmt.Appendf(nil, "%x|%s", digest, parts))
 	return hex.EncodeToString(h[:])
+}
+
+// queryKey is the content address of one query result: endpoint ×
+// canonical graph (its revision digest, for registered graphs) ×
+// normalized options × query operands. Two requests with the same key are
+// the same computation, so the cache may serve either's bytes for both.
+// Only options that can change the response bytes participate:
+// QueryOptions.Workers (intra-round parallelism) is deliberately absent,
+// because the parallel engine is byte-identical to the sequential one —
+// folding it in would split one computation across cache entries for no
+// reason (pinned by TestQueryKeyIgnoresWorkers).
+func queryKey(endpoint string, g *graph.Graph, o QueryOptions, operands string) string {
+	return keyFromDigest(canonicalGraphDigest(g), queryKeyParts(endpoint, o, operands))
 }
 
 func gcd(a, b int64) int64 {

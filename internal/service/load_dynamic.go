@@ -1,0 +1,266 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DynamicLoadOptions tunes the dynamic-graph workload: one graph of size N
+// is registered, then Concurrency clients fire Requests SSSP queries drawn
+// round-robin from Sources distinct sources against its handle while the
+// dispatcher interleaves a single-edge PATCH every PatchEvery queries.
+// This is the APSP-style serving pattern the incremental path exists for —
+// many per-source results over a slowly mutating graph — and the report
+// splits latency by how each query was served (reused from cache vs
+// recomputed), which is the measured win.
+type DynamicLoadOptions struct {
+	Concurrency int   `json:"concurrency"`
+	Requests    int   `json:"requests"`
+	N           int   `json:"n"`
+	Sources     int   `json:"sources"`
+	PatchEvery  int   `json:"patch_every"`
+	Seed        int64 `json:"seed"`
+}
+
+func (o *DynamicLoadOptions) applyDefaults() {
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.Requests <= 0 {
+		o.Requests = 400
+	}
+	if o.N <= 0 {
+		o.N = 256
+	}
+	if o.Sources <= 0 {
+		o.Sources = 32
+	}
+	if o.Sources > o.N {
+		o.Sources = o.N
+	}
+	if o.PatchEvery <= 0 {
+		o.PatchEvery = 50
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// DynamicLoadReport is the dynamic-graph workload outcome. Reused counts
+// queries answered from the cache (trace survived every PATCH since the
+// last recompute); Recomputed counts cache misses. The per-class latency
+// split is the point: reused queries cost a map lookup, recomputed ones a
+// full simulation.
+type DynamicLoadReport struct {
+	Options DynamicLoadOptions `json:"options"`
+	GraphID string             `json:"graph_id"`
+	// FinalRevision is the graph's revision after the run (1 + patches applied).
+	FinalRevision int `json:"final_revision"`
+
+	Requests   int     `json:"requests"`
+	Patches    int     `json:"patches"`
+	Reused     int     `json:"reused"`
+	Recomputed int     `json:"recomputed"`
+	Errors     int     `json:"errors"`
+	ReuseRate  float64 `json:"reuse_rate"`
+
+	ReusedP50NS     int64 `json:"reused_p50_ns"`
+	ReusedP99NS     int64 `json:"reused_p99_ns"`
+	RecomputedP50NS int64 `json:"recomputed_p50_ns"`
+	RecomputedP99NS int64 `json:"recomputed_p99_ns"`
+
+	WallNS     int64   `json:"wall_ns"`
+	RPS        float64 `json:"rps"`
+	FirstError string  `json:"first_error,omitempty"`
+}
+
+// RunLoadDynamic drives the dynamic-graph workload against a running
+// server: register, then interleave PATCHes with per-source queries and
+// measure the reuse rate and the latency split. client may be nil.
+func RunLoadDynamic(ctx context.Context, client *http.Client, baseURL string, opt DynamicLoadOptions) (DynamicLoadReport, error) {
+	opt.applyDefaults()
+	if client == nil {
+		client = http.DefaultClient
+	}
+	rep := DynamicLoadReport{Options: opt}
+
+	// Register the graph, and materialize the same generator spec locally:
+	// the PATCH stream needs real edges to reweight, and the spec is a pure
+	// function of its fields, so the local build matches the server's.
+	spec := GraphSpec{
+		Family: "random", N: opt.N, Seed: opt.Seed,
+		Weights: &WeightSpec{Kind: "uniform", MaxW: int64(opt.N)},
+	}
+	g, err := buildGraph(spec, opt.N, 1<<30)
+	if err != nil {
+		return rep, err
+	}
+	edges := g.Edges()
+	var info GraphInfo
+	if err := postJSON(ctx, client, baseURL+"/v1/graphs", RegisterRequest{Graph: spec}, &info); err != nil {
+		return rep, fmt.Errorf("registering graph: %w", err)
+	}
+	rep.GraphID = info.ID
+	rep.FinalRevision = info.Revision
+
+	queryBodies := make([][]byte, opt.Sources)
+	for s := range queryBodies {
+		b, err := json.Marshal(SSSPRequest{Graph: GraphSpec{ID: info.ID}, Source: int64(s)})
+		if err != nil {
+			return rep, err
+		}
+		queryBodies[s] = b
+	}
+
+	var (
+		mu                 sync.Mutex
+		reused, recomputed []time.Duration
+		wg                 sync.WaitGroup
+	)
+	idx := make(chan int)
+	start := time.Now()
+	for c := 0; c < opt.Concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				t0 := time.Now()
+				hit, err := oneLoadRequest(ctx, client, baseURL, queryBodies[i%len(queryBodies)])
+				d := time.Since(t0)
+				mu.Lock()
+				switch {
+				case err != nil:
+					rep.Errors++
+					if rep.FirstError == "" {
+						rep.FirstError = err.Error()
+					}
+				case hit:
+					reused = append(reused, d)
+				default:
+					recomputed = append(recomputed, d)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// The dispatcher owns the PATCH stream: every PatchEvery queries it
+	// reweights one random edge (alternating +1 / back to original), so
+	// queries and mutations genuinely interleave. Weight changes of ±1
+	// exercise both classification directions — increases keep non-tight
+	// sources, decreases keep sources the new weight cannot improve.
+	rng := rand.New(rand.NewSource(opt.Seed))
+	bumped := make(map[int]bool)
+	dispatch := func(i int) bool {
+		select {
+		case idx <- i:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	for i := 0; i < opt.Requests; i++ {
+		if i > 0 && i%opt.PatchEvery == 0 && len(edges) > 0 {
+			ei := rng.Intn(len(edges))
+			e := edges[ei]
+			w := e.W + 1
+			if bumped[ei] {
+				w = e.W
+			}
+			bumped[ei] = !bumped[ei]
+			var pi PatchInfo
+			err := patchJSON(ctx, client, fmt.Sprintf("%s/v1/graphs/%s/edges", baseURL, info.ID), PatchRequest{
+				Deltas: []DeltaJSON{{Op: "reweight", U: int64(e.U), V: int64(e.V), W: w}},
+			}, &pi)
+			mu.Lock()
+			if err != nil {
+				rep.Errors++
+				if rep.FirstError == "" {
+					rep.FirstError = fmt.Sprintf("patch: %v", err)
+				}
+			} else {
+				rep.Patches++
+				rep.FinalRevision = pi.Revision
+			}
+			mu.Unlock()
+		}
+		if !dispatch(i) {
+			break
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	rep.WallNS = time.Since(start).Nanoseconds()
+	rep.Reused, rep.Recomputed = len(reused), len(recomputed)
+	rep.Requests = rep.Reused + rep.Recomputed + rep.Errors
+	if served := rep.Reused + rep.Recomputed; served > 0 {
+		rep.ReuseRate = float64(rep.Reused) / float64(served)
+	}
+	rep.ReusedP50NS, rep.ReusedP99NS = percentiles(reused)
+	rep.RecomputedP50NS, rep.RecomputedP99NS = percentiles(recomputed)
+	if rep.WallNS > 0 {
+		rep.RPS = float64(rep.Requests) / (float64(rep.WallNS) / 1e9)
+	}
+	return rep, ctx.Err()
+}
+
+// percentiles returns the p50 and p99 of the sample in nanoseconds (0,0
+// for an empty sample).
+func percentiles(ds []time.Duration) (p50, p99 int64) {
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	at := func(q float64) int64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i].Nanoseconds()
+	}
+	return at(0.50), at(0.99)
+}
+
+func postJSON(ctx context.Context, client *http.Client, url string, in, out any) error {
+	return doJSON(ctx, client, http.MethodPost, url, in, out)
+}
+
+func patchJSON(ctx context.Context, client *http.Client, url string, in, out any) error {
+	return doJSON(ctx, client, http.MethodPatch, url, in, out)
+}
+
+func doJSON(ctx context.Context, client *http.Client, method, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%s %s: status %d: %s", method, url, resp.StatusCode, bytes.TrimSpace(payload))
+	}
+	if out != nil {
+		return json.Unmarshal(payload, out)
+	}
+	return nil
+}

@@ -35,9 +35,17 @@ type serverMetrics struct {
 	jobsFinished *obs.CounterVec // state ∈ {done, failed, cancelled}
 
 	slowQueries *obs.Counter
+
+	// Dynamic-graph (registered) serving path: per-source reuse outcomes
+	// and the per-PATCH classification ledger.
+	incrSourcesReused      *obs.Counter
+	incrSourcesRecomputed  *obs.Counter
+	incrEntriesMigrated    *obs.Counter
+	incrEntriesInvalidated *obs.Counter
+	patchDirtyFraction     *obs.Histogram
 }
 
-func newServerMetrics(cfg *Config, cache *Cache, store *Store) *serverMetrics {
+func newServerMetrics(cfg *Config, cache *Cache, store *Store, registry *GraphRegistry) *serverMetrics {
 	r := obs.NewRegistry()
 	m := &serverMetrics{
 		reg: r,
@@ -62,8 +70,31 @@ func newServerMetrics(cfg *Config, cache *Cache, store *Store) *serverMetrics {
 			"Sweep jobs reaching a terminal state, by state.", "state"),
 		slowQueries: r.Counter("dsssp_slow_queries_total",
 			"Requests slower than the configured slow-query threshold."),
+		incrSourcesReused: r.Counter("dsssp_incr_sources_reused_total",
+			"Registered-graph per-source results served from cache/traces without recomputation."),
+		incrSourcesRecomputed: r.Counter("dsssp_incr_sources_recomputed_total",
+			"Registered-graph per-source results that had to be recomputed."),
+		incrEntriesMigrated: r.Counter("dsssp_incr_entries_migrated_total",
+			"Result-cache entries re-addressed to a new graph revision on PATCH (untouched sources)."),
+		incrEntriesInvalidated: r.Counter("dsssp_incr_entries_invalidated_total",
+			"Result-cache entries invalidated on PATCH (dirty sources)."),
+		patchDirtyFraction: r.Histogram("dsssp_incr_patch_dirty_fraction",
+			"Per-PATCH fraction of traced sources classified dirty (recompute-needed).",
+			[]float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}),
 	}
 	r.Gauge("dsssp_query_pool_workers", "Configured worker-pool size.").Set(int64(cfg.Workers))
+	r.GaugeFunc("dsssp_graphs_registered",
+		"Graphs currently resident in the dynamic-graph registry.",
+		func() float64 { return float64(registry.Stats().Graphs) })
+	r.CounterFunc("dsssp_graph_revisions_total",
+		"Graph revisions ever created (registrations plus PATCHes).",
+		func() float64 { return float64(registry.Stats().Revisions) })
+	r.CounterFunc("dsssp_graph_evictions_total",
+		"Registered graphs evicted under the registry byte budget.",
+		func() float64 { return float64(registry.Stats().Evictions) })
+	r.GaugeFunc("dsssp_graph_registry_bytes",
+		"Approximate resident bytes of registered graphs and their traces.",
+		func() float64 { return float64(registry.Stats().BytesUsed) })
 
 	// Cache and store counters live in their subsystems (they predate the
 	// registry and also feed /v1/stats); surface them at scrape time.
@@ -118,7 +149,7 @@ func (m *serverMetrics) observePhases(phases []harness.PhaseStat) {
 // attacker spraying random paths cannot mint unbounded metric series.
 func endpointLabel(path string) string {
 	switch path {
-	case "/v1/sssp", "/v1/apsp", "/v1/path", "/v1/sweeps", "/v1/trends", "/v1/stats":
+	case "/v1/sssp", "/v1/apsp", "/v1/path", "/v1/sweeps", "/v1/trends", "/v1/stats", "/v1/graphs":
 		return strings.TrimPrefix(path, "/v1/")
 	case "/healthz":
 		return "healthz"
@@ -127,6 +158,9 @@ func endpointLabel(path string) string {
 	}
 	if strings.HasPrefix(path, "/v1/sweeps/") {
 		return "sweeps/{id}"
+	}
+	if strings.HasPrefix(path, "/v1/graphs/") {
+		return "graphs/{id}"
 	}
 	return "other"
 }

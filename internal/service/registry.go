@@ -1,0 +1,503 @@
+package service
+
+import (
+	"container/list"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"dsssp/internal/graph"
+	"dsssp/internal/incr"
+)
+
+// GraphRegistry holds the registered (dynamic) graphs: content-derived
+// handles pointing at a chain of revisions, each revision an immutable
+// graph snapshot plus the per-source result traces (exact distance rows
+// and the cache-entry addresses derived from them) that internal/incr
+// classifies on every PATCH. Queries resolve a handle to the head
+// revision's snapshot and proceed exactly like inline queries — the
+// revision digest is the cache key's graph half — so a query racing a
+// PATCH sees exactly the pre- or the post-revision result, never a mix.
+//
+// The registry is byte-budgeted: graphs (and their traces) are charged an
+// approximate resident footprint and whole graphs are evicted LRU when the
+// budget overflows. Evicting a graph drops registry state only — its
+// content-addressed cache entries stay valid and age out of the result
+// cache on their own.
+type GraphRegistry struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	cache  *Cache
+	graphs map[string]*regGraph
+	lru    *list.List // of *regGraph; front = most recently used
+	now    func() time.Time
+
+	// Telemetry hooks, bound by the server after construction (tests may
+	// leave them nil).
+	m *serverMetrics
+
+	// Monotonic counters for RegistryStats.
+	revisions int64 // revisions ever created (registrations + patches)
+	evictions int64
+}
+
+type regGraph struct {
+	id        string
+	el        *list.Element
+	createdAt time.Time
+	patchedAt time.Time
+	head      *revision
+	bytes     int64
+}
+
+// revision is one immutable point in a graph's history. The graph snapshot
+// is never mutated after construction — PATCH builds a fresh one — so any
+// query holding a resolved revision can simulate on it lock-free.
+type revision struct {
+	num    int
+	digest [32]byte
+	g      *graph.Graph
+	// traces maps source → its exact distance row plus the cache-entry
+	// parts derived from it. The sentinel apspTraceKey tracks whole-APSP
+	// response bodies, which cover every source at once.
+	traces map[graph.NodeID]*sourceTrace
+}
+
+// apspTraceKey indexes the pseudo-trace holding whole-APSP body entries;
+// such an entry survives a PATCH only if every one of the n sources is
+// provably untouched.
+const apspTraceKey = graph.NodeID(-1)
+
+type sourceTrace struct {
+	dist    []int64 // nil for apspTraceKey
+	entries map[string]struct{}
+	bytes   int64
+}
+
+// NewGraphRegistry returns a registry with the given byte budget, wired to
+// the cache it migrates/invalidates entries in.
+func NewGraphRegistry(budget int64, cache *Cache, now func() time.Time) *GraphRegistry {
+	if now == nil {
+		now = time.Now
+	}
+	return &GraphRegistry{
+		budget: budget,
+		cache:  cache,
+		graphs: make(map[string]*regGraph),
+		lru:    list.New(),
+		now:    now,
+	}
+}
+
+func (r *GraphRegistry) bindMetrics(m *serverMetrics) { r.m = m }
+
+// GraphInfo is the wire form of one registered graph.
+type GraphInfo struct {
+	ID string `json:"id"`
+	// Revision counts from 1 at registration; every PATCH increments it.
+	Revision int `json:"revision"`
+	// Digest is the head revision's canonical content digest (hex); it is
+	// the graph half of every cache key minted for this revision.
+	Digest string `json:"digest"`
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	// Bytes is the approximate resident footprint charged against the
+	// registry budget (graph + cached traces).
+	Bytes         int64 `json:"bytes"`
+	TracedSources int   `json:"traced_sources"`
+	CreatedAtNS   int64 `json:"created_at_ns"`
+	PatchedAtNS   int64 `json:"patched_at_ns,omitempty"`
+}
+
+// graphBytes approximates a snapshot's resident footprint: two adjacency
+// halves plus an index-map entry per edge, a slice header per node.
+func graphBytes(g *graph.Graph) int64 {
+	return int64(g.N())*24 + int64(g.M())*48
+}
+
+func traceBytes(dist []int64) int64 { return int64(len(dist))*8 + 64 }
+
+// Register adds the graph under a content-derived handle and returns its
+// info. Registration is idempotent: posting a graph whose content matches
+// an existing handle's head revision returns that handle (created=false).
+// If the handle's graph has since been patched away from this content, a
+// disambiguated handle is minted — handles are stable names for histories,
+// not for contents.
+func (r *GraphRegistry) Register(g *graph.Graph) (GraphInfo, bool) {
+	digest := canonicalGraphDigest(g)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	base := "g-" + hex.EncodeToString(digest[:8])
+	id := base
+	for k := 2; ; k++ {
+		rg, ok := r.graphs[id]
+		if !ok {
+			break
+		}
+		if rg.head.digest == digest {
+			r.touchLocked(rg)
+			return r.infoLocked(rg), false
+		}
+		id = fmt.Sprintf("%s-%d", base, k)
+	}
+	rg := &regGraph{
+		id:        id,
+		createdAt: r.now(),
+		head: &revision{
+			num:    1,
+			digest: digest,
+			g:      g,
+			traces: make(map[graph.NodeID]*sourceTrace),
+		},
+		bytes: graphBytes(g),
+	}
+	rg.el = r.lru.PushFront(rg)
+	r.graphs[id] = rg
+	r.bytes += rg.bytes
+	r.revisions++
+	r.evictLocked(rg)
+	return r.infoLocked(rg), true
+}
+
+// Resolve returns the head revision snapshot for a query: the immutable
+// graph, its digest (the cache key's graph half), and the revision number.
+func (r *GraphRegistry) Resolve(id string) (*graph.Graph, [32]byte, int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rg, ok := r.graphs[id]
+	if !ok {
+		return nil, [32]byte{}, 0, notfoundf("no registered graph %q (evicted or never registered)", id)
+	}
+	r.touchLocked(rg)
+	return rg.head.g, rg.head.digest, rg.head.num, nil
+}
+
+// Get returns a registered graph's info.
+func (r *GraphRegistry) Get(id string) (GraphInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rg, ok := r.graphs[id]
+	if !ok {
+		return GraphInfo{}, false
+	}
+	return r.infoLocked(rg), true
+}
+
+// List returns every registered graph, most recently used first.
+func (r *GraphRegistry) List() []GraphInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]GraphInfo, 0, len(r.graphs))
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, r.infoLocked(el.Value.(*regGraph)))
+	}
+	return out
+}
+
+// Remove drops a registered graph (its cache entries stay and age out).
+func (r *GraphRegistry) Remove(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rg, ok := r.graphs[id]
+	if !ok {
+		return false
+	}
+	r.dropLocked(rg)
+	return true
+}
+
+// PatchInfo is the wire form of one applied edge-delta batch — the
+// revision transition plus the classification outcome, which is also the
+// observability story: DirtyFraction is what the reuse histogram records.
+type PatchInfo struct {
+	ID             string `json:"id"`
+	Revision       int    `json:"revision"`
+	ParentRevision int    `json:"parent_revision"`
+	Digest         string `json:"digest"`
+	N              int    `json:"n"`
+	M              int    `json:"m"`
+	DeltasApplied  int    `json:"deltas_applied"`
+	// Effects counts deltas that actually changed a weight (keep-min
+	// no-op inserts and same-weight reweights resolve away).
+	Effects int `json:"effects"`
+	// SourcesKept / SourcesDropped classify the parent revision's traced
+	// sources: kept = untouched (results carried forward verbatim),
+	// dropped = dirty (will recompute on next query).
+	SourcesKept    int     `json:"sources_kept"`
+	SourcesDropped int     `json:"sources_dropped"`
+	DirtyFraction  float64 `json:"dirty_fraction"`
+	// EntriesMigrated / EntriesInvalidated count result-cache entries
+	// re-addressed to the new revision vs dropped — the edge-granular
+	// invalidation ledger.
+	EntriesMigrated    int `json:"entries_migrated"`
+	EntriesInvalidated int `json:"entries_invalidated"`
+}
+
+// Patch applies an edge-delta batch to the graph's head revision: builds
+// the patched snapshot, classifies every traced source against the deltas
+// (internal/incr), migrates untouched sources' traces and cache entries to
+// the new revision's keys, invalidates dirty sources' entries, and swaps
+// the head. The whole transition happens under the registry lock, so
+// concurrent queries resolve either the old head (and serve its still-
+// consistent snapshot) or the new one — never a mix.
+func (r *GraphRegistry) Patch(id string, deltas []graph.EdgeDelta) (PatchInfo, error) {
+	if len(deltas) == 0 {
+		return PatchInfo{}, badf("empty delta batch")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rg, ok := r.graphs[id]
+	if !ok {
+		return PatchInfo{}, notfoundf("no registered graph %q (evicted or never registered)", id)
+	}
+	old := rg.head
+	ng, err := graph.ApplyDeltas(old.g, deltas)
+	if err != nil {
+		return PatchInfo{}, badRequest{err}
+	}
+	effects, err := incr.Effects(old.g, deltas)
+	if err != nil {
+		return PatchInfo{}, badRequest{err} // unreachable after ApplyDeltas, but loud beats silent
+	}
+	newDigest := canonicalGraphDigest(ng)
+	next := &revision{
+		num:    old.num + 1,
+		digest: newDigest,
+		g:      ng,
+		traces: make(map[graph.NodeID]*sourceTrace, len(old.traces)),
+	}
+
+	info := PatchInfo{
+		ID: id, Revision: next.num, ParentRevision: old.num,
+		Digest: hex.EncodeToString(newDigest[:]),
+		N:      ng.N(), M: ng.M(),
+		DeltasApplied: len(deltas), Effects: len(effects),
+	}
+	distTraced := 0
+	for src, tr := range old.traces {
+		if src == apspTraceKey {
+			continue // classified below, against all sources
+		}
+		distTraced++
+		if incr.SourceDirty(effects, tr.dist) {
+			info.SourcesDropped++
+			info.EntriesInvalidated += r.dropEntriesLocked(old.digest, tr)
+			continue
+		}
+		info.SourcesKept++
+		info.EntriesMigrated += r.migrateTraceLocked(old.digest, newDigest, tr)
+		next.traces[src] = tr
+	}
+	// Whole-APSP bodies cover every source at once: they survive only when
+	// all n sources are traced and none is dirty.
+	if tr, ok := old.traces[apspTraceKey]; ok {
+		if info.SourcesDropped == 0 && distTraced == old.g.N() {
+			info.EntriesMigrated += r.migrateTraceLocked(old.digest, newDigest, tr)
+			next.traces[apspTraceKey] = tr
+		} else {
+			info.EntriesInvalidated += r.dropEntriesLocked(old.digest, tr)
+		}
+	}
+	if classified := info.SourcesKept + info.SourcesDropped; classified > 0 {
+		info.DirtyFraction = float64(info.SourcesDropped) / float64(classified)
+		if r.m != nil {
+			r.m.patchDirtyFraction.Observe(info.DirtyFraction)
+		}
+	}
+	if r.m != nil {
+		r.m.incrEntriesMigrated.Add(int64(info.EntriesMigrated))
+		r.m.incrEntriesInvalidated.Add(int64(info.EntriesInvalidated))
+	}
+
+	// Swap the head and re-account: dropped traces refund their bytes.
+	var traceB int64
+	for _, tr := range next.traces {
+		traceB += tr.bytes
+	}
+	newBytes := graphBytes(ng) + traceB
+	r.bytes += newBytes - rg.bytes
+	rg.bytes = newBytes
+	rg.head = next
+	rg.patchedAt = r.now()
+	r.revisions++
+	r.touchLocked(rg)
+	r.evictLocked(rg)
+	return info, nil
+}
+
+// migrateTraceLocked re-addresses a trace's cache entries from the old to
+// the new revision digest, pruning entries the cache has since evicted.
+func (r *GraphRegistry) migrateTraceLocked(oldDigest, newDigest [32]byte, tr *sourceTrace) int {
+	migrated := 0
+	for parts := range tr.entries {
+		if r.cache.Copy(keyFromDigest(oldDigest, parts), keyFromDigest(newDigest, parts)) {
+			migrated++
+		} else {
+			delete(tr.entries, parts) // evicted under us; nothing to carry
+			tr.bytes -= int64(len(parts))
+		}
+	}
+	return migrated
+}
+
+// dropEntriesLocked invalidates a dirty trace's cache entries.
+func (r *GraphRegistry) dropEntriesLocked(digest [32]byte, tr *sourceTrace) int {
+	keys := make([]string, 0, len(tr.entries))
+	for parts := range tr.entries {
+		keys = append(keys, keyFromDigest(digest, parts))
+	}
+	return r.cache.Invalidate(keys...)
+}
+
+// Record attaches a computed source result to the graph's head revision:
+// the exact distance row (what incr classifies against) and, optionally,
+// the cache-entry parts string minted for the response (what a future
+// PATCH migrates or invalidates). Dropped silently when digest no longer
+// names the head — the computation raced a PATCH and its revision is gone;
+// its cache entry is unreachable from the new head anyway.
+func (r *GraphRegistry) Record(id string, digest [32]byte, src graph.NodeID, dist []int64, parts string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rg, ok := r.graphs[id]
+	if !ok || rg.head.digest != digest {
+		return
+	}
+	r.recordLocked(rg, src, dist, parts)
+	r.evictLocked(rg)
+}
+
+// RecordRows batch-records per-source distance rows (an APSP run's yield)
+// plus the whole-body entry under the apspTraceKey pseudo-source.
+func (r *GraphRegistry) RecordRows(id string, digest [32]byte, rows map[graph.NodeID][]int64, bodyParts string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rg, ok := r.graphs[id]
+	if !ok || rg.head.digest != digest {
+		return
+	}
+	for src, dist := range rows {
+		r.recordLocked(rg, src, dist, "")
+	}
+	if bodyParts != "" {
+		r.recordLocked(rg, apspTraceKey, nil, bodyParts)
+	}
+	r.evictLocked(rg)
+}
+
+func (r *GraphRegistry) recordLocked(rg *regGraph, src graph.NodeID, dist []int64, parts string) {
+	tr, ok := rg.head.traces[src]
+	if !ok {
+		// Respect the byte budget at admission: traces are an accelerator,
+		// not a correctness requirement, so an over-budget graph simply
+		// stops accumulating them (queries still work, just without reuse).
+		cost := traceBytes(dist)
+		if r.budget > 0 && rg.bytes+cost > r.budget {
+			return
+		}
+		tr = &sourceTrace{dist: dist, entries: make(map[string]struct{}), bytes: cost}
+		rg.head.traces[src] = tr
+		rg.bytes += cost
+		r.bytes += cost
+	}
+	if parts != "" {
+		if _, dup := tr.entries[parts]; !dup {
+			tr.entries[parts] = struct{}{}
+			tr.bytes += int64(len(parts))
+			rg.bytes += int64(len(parts))
+			r.bytes += int64(len(parts))
+		}
+	}
+}
+
+// Rows snapshots the distance rows valid at the given revision digest
+// (nil when the digest is stale or unknown). The rows are shared immutable
+// slices — callers must not write through them.
+func (r *GraphRegistry) Rows(id string, digest [32]byte) map[graph.NodeID][]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rg, ok := r.graphs[id]
+	if !ok || rg.head.digest != digest {
+		return nil
+	}
+	out := make(map[graph.NodeID][]int64, len(rg.head.traces))
+	for src, tr := range rg.head.traces {
+		if src != apspTraceKey && tr.dist != nil {
+			out[src] = tr.dist
+		}
+	}
+	return out
+}
+
+// touchLocked marks a graph most-recently-used.
+func (r *GraphRegistry) touchLocked(rg *regGraph) { r.lru.MoveToFront(rg.el) }
+
+// evictLocked drops least-recently-used graphs until the budget holds,
+// never evicting the graph that triggered the sweep (keep, at minimum,
+// what the caller is actively using).
+func (r *GraphRegistry) evictLocked(keep *regGraph) {
+	if r.budget <= 0 {
+		return
+	}
+	for r.bytes > r.budget {
+		back := r.lru.Back()
+		if back == nil {
+			break
+		}
+		rg := back.Value.(*regGraph)
+		if rg == keep {
+			break
+		}
+		r.dropLocked(rg)
+		r.evictions++
+	}
+}
+
+func (r *GraphRegistry) dropLocked(rg *regGraph) {
+	r.lru.Remove(rg.el)
+	delete(r.graphs, rg.id)
+	r.bytes -= rg.bytes
+}
+
+func (r *GraphRegistry) infoLocked(rg *regGraph) GraphInfo {
+	info := GraphInfo{
+		ID:            rg.id,
+		Revision:      rg.head.num,
+		Digest:        hex.EncodeToString(rg.head.digest[:]),
+		N:             rg.head.g.N(),
+		M:             rg.head.g.M(),
+		Bytes:         rg.bytes,
+		TracedSources: len(rg.head.traces),
+		CreatedAtNS:   rg.createdAt.UnixNano(),
+	}
+	if !rg.patchedAt.IsZero() {
+		info.PatchedAtNS = rg.patchedAt.UnixNano()
+	}
+	return info
+}
+
+// RegistryStats is the registry's observable state (GET /v1/stats and the
+// dsssp_graphs_* metrics).
+type RegistryStats struct {
+	Graphs int `json:"graphs"`
+	// Revisions counts revisions ever created (registrations + patches),
+	// monotonically.
+	Revisions int64 `json:"revisions"`
+	Evictions int64 `json:"evictions"`
+	BytesUsed int64 `json:"bytes_used"`
+	Budget    int64 `json:"bytes_budget"`
+}
+
+// Stats snapshots the registry counters.
+func (r *GraphRegistry) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RegistryStats{
+		Graphs:    len(r.graphs),
+		Revisions: r.revisions,
+		Evictions: r.evictions,
+		BytesUsed: r.bytes,
+		Budget:    r.budget,
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -36,6 +37,10 @@ type Config struct {
 	// CacheBytes is the result cache's byte budget (default 64 MiB; <= 0
 	// after defaulting disables storage but keeps request deduplication).
 	CacheBytes int64
+	// GraphBytes is the dynamic-graph registry's byte budget: registered
+	// graphs plus their per-source result traces, evicted whole-graph LRU
+	// (default 256 MiB).
+	GraphBytes int64
 	// Workers bounds concurrently executing queries (default NumCPU).
 	Workers int
 	// MaxIntraWorkers caps a query's requested intra-round simulation
@@ -75,6 +80,9 @@ type Config struct {
 func (c *Config) applyDefaults() {
 	if c.CacheBytes == 0 {
 		c.CacheBytes = 64 << 20
+	}
+	if c.GraphBytes == 0 {
+		c.GraphBytes = 256 << 20
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.NumCPU()
@@ -117,6 +125,7 @@ type Server struct {
 	cfg      Config
 	cache    *Cache
 	store    *Store
+	registry *GraphRegistry
 	jobs     *jobSet
 	querySem chan struct{}
 	sweepSem chan struct{}
@@ -141,15 +150,19 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cache := NewCache(cfg.CacheBytes)
+	registry := NewGraphRegistry(cfg.GraphBytes, cache, cfg.now)
+	metrics := newServerMetrics(&cfg, cache, store, registry)
+	registry.bindMetrics(metrics)
 	s := &Server{
 		cfg:       cfg,
 		cache:     cache,
 		store:     store,
+		registry:  registry,
 		jobs:      newJobSet(),
 		querySem:  make(chan struct{}, cfg.Workers),
 		sweepSem:  make(chan struct{}, cfg.MaxConcurrentSweeps),
 		mux:       http.NewServeMux(),
-		metrics:   newServerMetrics(&cfg, cache, store),
+		metrics:   metrics,
 		logger:    cfg.Logger,
 		started:   cfg.now(),
 		baseCtx:   ctx,
@@ -159,6 +172,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/sssp", s.handleSSSP)
 	s.mux.HandleFunc("POST /v1/path", s.handlePath)
 	s.mux.HandleFunc("POST /v1/apsp", s.handleAPSP)
+	s.mux.HandleFunc("POST /v1/graphs", s.handleGraphRegister)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleGraphList)
+	s.mux.HandleFunc("GET /v1/graphs/{id}", s.handleGraphGet)
+	s.mux.HandleFunc("DELETE /v1/graphs/{id}", s.handleGraphDelete)
+	s.mux.HandleFunc("PATCH /v1/graphs/{id}/edges", s.handleGraphPatch)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
 	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
@@ -206,7 +224,7 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	// breakdown; folding trace into the options before the key is computed
 	// keeps traced and untraced responses as distinct cache entries.
 	req.Options.RecordPhases = req.Options.RecordPhases || wantTrace(r)
-	g, opts, ok := s.prepare(w, req.Graph, req.Options)
+	g, digest, opts, ref, ok := s.prepare(w, req.Graph, req.Options)
 	if !ok {
 		return
 	}
@@ -214,14 +232,20 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 		s.replyError(w, badf("source %d out of range [0,%d)", req.Source, g.N()))
 		return
 	}
-	key := queryKey("sssp", g, req.Options, fmt.Sprintf("src=%d", req.Source))
-	s.finishQuery(w, r, key, func() ([]byte, error) {
+	parts := queryKeyParts("sssp", req.Options, fmt.Sprintf("src=%d", req.Source))
+	hit, ok := s.finishQuery(w, r, keyFromDigest(digest, parts), func() ([]byte, bool, error) {
 		res, err := dsssp.SSSP(g, graph.NodeID(req.Source), opts)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		phases := harness.PhasesFromSpans(res.Metrics.Spans)
 		s.metrics.observePhases(phases)
+		if ref != nil {
+			// The distance row is what a future PATCH classifies this
+			// source against; the parts string is how it re-addresses or
+			// invalidates this response's cache entry.
+			s.registry.Record(ref.id, digest, graph.NodeID(req.Source), res.Dist, parts)
+		}
 		resp := SSSPResponse{
 			N: g.N(), M: g.M(),
 			Dist:           res.Dist,
@@ -232,8 +256,22 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 		if req.Options.RecordPhases {
 			resp.Phases = phases
 		}
-		return json.Marshal(resp)
+		b, err := json.Marshal(resp)
+		return b, true, err
 	})
+	if ok && ref != nil {
+		s.countReuse(hit, 1)
+	}
+}
+
+// countReuse feeds the registered-graph reuse counters: a cache hit is a
+// source served without recomputation, a miss is a recompute.
+func (s *Server) countReuse(hit bool, sources int64) {
+	if hit {
+		s.metrics.incrSourcesReused.Add(sources)
+	} else {
+		s.metrics.incrSourcesRecomputed.Add(sources)
+	}
 }
 
 // wantTrace reports whether the query string asks for the span-level
@@ -252,7 +290,7 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	g, opts, ok := s.prepare(w, req.Graph, req.Options)
+	g, digest, opts, ref, ok := s.prepare(w, req.Graph, req.Options)
 	if !ok {
 		return
 	}
@@ -262,27 +300,36 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	key := queryKey("path", g, req.Options, fmt.Sprintf("src=%d|dst=%d", req.Source, req.Target))
-	s.finishQuery(w, r, key, func() ([]byte, error) {
+	parts := queryKeyParts("path", req.Options, fmt.Sprintf("src=%d|dst=%d", req.Source, req.Target))
+	hit, ok := s.finishQuery(w, r, keyFromDigest(digest, parts), func() ([]byte, bool, error) {
 		tr, err := dsssp.SSSPTree(g, graph.NodeID(req.Source), opts)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		s.metrics.observePhases(harness.PhasesFromSpans(tr.Metrics.Spans))
+		if ref != nil {
+			// A path query is an SSSP from its source under the covers, so
+			// its trace classifies (and migrates/invalidates) like one.
+			s.registry.Record(ref.id, digest, graph.NodeID(req.Source), tr.Dist, parts)
+		}
 		resp := PathResponse{Dist: tr.Dist[req.Target], Path: []int64{}, Metrics: metricsJSON(tr.Metrics)}
 		if resp.Dist != graph.Inf {
 			// Unreachable targets are an answer (dist = +Inf sentinel,
 			// empty path), not an error.
 			nodes, err := tr.PathTo(graph.NodeID(req.Target))
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			for _, v := range nodes {
 				resp.Path = append(resp.Path, int64(v))
 			}
 		}
-		return json.Marshal(resp)
+		b, err := json.Marshal(resp)
+		return b, true, err
 	})
+	if ok && ref != nil {
+		s.countReuse(hit, 1)
+	}
 }
 
 func (s *Server) handleAPSP(w http.ResponseWriter, r *http.Request) {
@@ -291,48 +338,133 @@ func (s *Server) handleAPSP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Options.RecordPhases = req.Options.RecordPhases || wantTrace(r)
-	g, opts, ok := s.prepare(w, req.Graph, req.Options)
+	g, digest, opts, ref, ok := s.prepare(w, req.Graph, req.Options)
 	if !ok {
 		return
 	}
-	key := queryKey("apsp", g, req.Options, fmt.Sprintf("seed=%d", req.Seed))
-	s.finishQuery(w, r, key, func() ([]byte, error) {
-		res, err := dsssp.APSP(g, opts, req.Seed)
-		if err != nil {
-			return nil, err
+	parts := queryKeyParts("apsp", req.Options, fmt.Sprintf("seed=%d", req.Seed))
+	var rowsReused, rowsRecomputed int64
+	hit, ok := s.finishQuery(w, r, keyFromDigest(digest, parts), func() ([]byte, bool, error) {
+		// For a registered graph, fan out only to sources without a traced
+		// row at this revision. Per-source SSSP instances are independent,
+		// so a reused row is byte-identical to what a re-run would produce;
+		// only the Composition (which describes the instances actually run
+		// this time) and the Incr split distinguish a partially-reused
+		// response from a from-scratch one.
+		var traced map[graph.NodeID][]int64
+		if ref != nil {
+			traced = s.registry.Rows(ref.id, digest)
 		}
-		comp := res.Composition
-		phases := harness.PhasesFromSpans(comp.Spans)
-		s.metrics.observePhases(phases)
-		resp := APSPResponse{
-			N: g.N(), M: g.M(),
-			Dist: res.Dist,
-			Composition: CompositionJSON{
+		missing := make([]graph.NodeID, 0, g.N())
+		dist := make([][]int64, g.N())
+		for v := 0; v < g.N(); v++ {
+			if row, ok := traced[graph.NodeID(v)]; ok {
+				dist[v] = row
+			} else {
+				missing = append(missing, graph.NodeID(v))
+			}
+		}
+		reused := g.N() - len(missing)
+		resp := APSPResponse{N: g.N(), M: g.M(), Dist: dist}
+		if len(missing) > 0 {
+			res, err := dsssp.APSPFrom(g, missing, opts, req.Seed)
+			if err != nil {
+				return nil, false, err
+			}
+			for _, src := range missing {
+				dist[src] = res.Dist[src]
+			}
+			comp := res.Composition
+			phases := harness.PhasesFromSpans(comp.Spans)
+			s.metrics.observePhases(phases)
+			resp.Composition = CompositionJSON{
 				Dilation: comp.Dilation, Congestion: comp.Congestion,
 				MakespanAligned: comp.MakespanAligned, MakespanRandom: comp.MakespanRandom,
 				MakespanSequential: comp.MakespanSequential, MaxMessageBits: comp.MaxMessageBits,
-			},
+			}
+			if req.Options.RecordPhases {
+				resp.Phases = phases
+			}
 		}
-		if req.Options.RecordPhases {
-			resp.Phases = phases
+		if ref != nil {
+			newRows := make(map[graph.NodeID][]int64, len(missing))
+			for _, src := range missing {
+				newRows[src] = dist[src]
+			}
+			// The whole-body entry is recorded only for a from-scratch run:
+			// a partially-reused body is history-dependent (its Composition
+			// and Incr depend on what happened to be traced), so it must
+			// not become this key's cached bytes.
+			bodyParts := parts
+			if reused > 0 {
+				bodyParts = ""
+			}
+			s.registry.RecordRows(ref.id, digest, newRows, bodyParts)
 		}
-		return json.Marshal(resp)
+		if reused > 0 {
+			resp.Incr = &IncrJSON{SourcesReused: reused, SourcesRecomputed: len(missing)}
+			rowsReused, rowsRecomputed = int64(reused), int64(len(missing))
+			w.Header().Set("X-Dsssp-Incr", fmt.Sprintf("reused=%d recomputed=%d", reused, len(missing)))
+			b, err := json.Marshal(resp)
+			return b, false, err
+		}
+		b, err := json.Marshal(resp)
+		return b, true, err
 	})
+	if ok && ref != nil {
+		// A body-cache hit means every source was served without recompute;
+		// a miss splits per the incremental assembly above (all-recompute
+		// when nothing was traced).
+		if hit {
+			s.metrics.incrSourcesReused.Add(int64(g.N()))
+		} else {
+			s.metrics.incrSourcesReused.Add(rowsReused)
+			s.metrics.incrSourcesRecomputed.Add(rowsRecomputed)
+		}
+	}
 }
 
-// prepare builds the graph and options for a query, replying on error.
-func (s *Server) prepare(w http.ResponseWriter, spec GraphSpec, qo QueryOptions) (*graph.Graph, *dsssp.Options, bool) {
-	g, err := buildGraph(spec, s.cfg.MaxN, s.cfg.MaxEdges)
-	if err != nil {
+// graphRef identifies the registered graph a query resolved (nil for
+// inline/generator specs): the handle plus the head revision the query is
+// pinned to. The resolved snapshot is immutable, so the query is
+// consistent even if a PATCH lands mid-computation — it answers for the
+// revision it resolved.
+type graphRef struct {
+	id       string
+	revision int
+}
+
+// prepare resolves the graph (inline, generator, or registered handle)
+// and options for a query, replying on error. For registered graphs the
+// handle and revision travel in response headers, not the body: cached
+// bodies are migrated verbatim across revisions on PATCH, so a body-borne
+// revision number would go stale the moment an entry is carried forward.
+func (s *Server) prepare(w http.ResponseWriter, spec GraphSpec, qo QueryOptions) (*graph.Graph, [32]byte, *dsssp.Options, *graphRef, bool) {
+	fail := func(err error) (*graph.Graph, [32]byte, *dsssp.Options, *graphRef, bool) {
 		s.replyError(w, err)
-		return nil, nil, false
+		return nil, [32]byte{}, nil, nil, false
 	}
 	opts, err := resolveOptions(qo, s.cfg.Workers, s.cfg.MaxIntraWorkers)
 	if err != nil {
-		s.replyError(w, err)
-		return nil, nil, false
+		return fail(err)
 	}
-	return g, opts, true
+	if spec.ID != "" {
+		if spec.N != 0 || len(spec.Edges) > 0 || spec.Family != "" || spec.Seed != 0 || spec.Weights != nil {
+			return fail(badf("graph.graph_id is mutually exclusive with inline and generator fields"))
+		}
+		g, digest, rev, err := s.registry.Resolve(spec.ID)
+		if err != nil {
+			return fail(err)
+		}
+		w.Header().Set("X-Dsssp-Graph-Id", spec.ID)
+		w.Header().Set("X-Dsssp-Graph-Revision", strconv.Itoa(rev))
+		return g, digest, opts, &graphRef{id: spec.ID, revision: rev}, true
+	}
+	g, err := buildGraph(spec, s.cfg.MaxN, s.cfg.MaxEdges)
+	if err != nil {
+		return fail(err)
+	}
+	return g, canonicalGraphDigest(g), opts, nil, true
 }
 
 // finishQuery funnels every query through the content-addressed cache and
@@ -340,9 +472,13 @@ func (s *Server) prepare(w http.ResponseWriter, spec GraphSpec, qo QueryOptions)
 // worker slot (respecting request cancellation while queued), compute,
 // and leave their bytes behind. Identical concurrent misses collapse into
 // one computation (every follower gets the leader's bytes, counted as a
-// hit and marked X-Dsssp-Cache: hit).
-func (s *Server) finishQuery(w http.ResponseWriter, r *http.Request, key string, compute func() ([]byte, error)) {
-	body, hit, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
+// hit and marked X-Dsssp-Cache: hit). compute's second return value says
+// whether its bytes may be cached — false for responses that are not pure
+// functions of the key (the incremental-APSP assembly). Returns whether
+// the response was a cache hit and whether it was served at all (ok=false
+// means an error reply already went out).
+func (s *Server) finishQuery(w http.ResponseWriter, r *http.Request, key string, compute func() ([]byte, bool, error)) (hit, ok bool) {
+	body, hit, err := s.cache.GetOrComputeEx(key, func() ([]byte, bool, error) {
 		s.metrics.queueDepth.Inc()
 		queued := time.Now()
 		select {
@@ -356,13 +492,13 @@ func (s *Server) finishQuery(w http.ResponseWriter, r *http.Request, key string,
 			}()
 		case <-r.Context().Done():
 			s.metrics.queueDepth.Dec()
-			return nil, r.Context().Err()
+			return nil, false, r.Context().Err()
 		}
 		return compute()
 	})
 	if err != nil {
 		s.replyError(w, err)
-		return
+		return false, false
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if hit {
@@ -372,6 +508,83 @@ func (s *Server) finishQuery(w http.ResponseWriter, r *http.Request, key string,
 	}
 	w.Write(body)
 	w.Write([]byte("\n"))
+	return hit, true
+}
+
+// --- dynamic-graph endpoints ---
+
+func (s *Server) handleGraphRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Graph.ID != "" {
+		s.replyError(w, badf("graph.graph_id cannot be set when registering a graph"))
+		return
+	}
+	g, err := buildGraph(req.Graph, s.cfg.MaxN, s.cfg.MaxEdges)
+	if err != nil {
+		s.replyError(w, err)
+		return
+	}
+	info, created := s.registry.Register(g)
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+		s.logger.Info("graph registered",
+			"graph_id", info.ID, "n", info.N, "m", info.M, "digest", info.Digest)
+	}
+	writeJSON(w, code, info)
+}
+
+func (s *Server) handleGraphList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, GraphListResponse{Graphs: s.registry.List()})
+}
+
+func (s *Server) handleGraphGet(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.registry.Get(r.PathValue("id"))
+	if !ok {
+		s.replyError(w, notfoundf("no registered graph %q (evicted or never registered)", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.registry.Remove(r.PathValue("id")) {
+		s.replyError(w, notfoundf("no registered graph %q (evicted or never registered)", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"removed": true})
+}
+
+func (s *Server) handleGraphPatch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req PatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	info, ok := s.registry.Get(id)
+	if !ok {
+		s.replyError(w, notfoundf("no registered graph %q (evicted or never registered)", id))
+		return
+	}
+	deltas, err := parseDeltas(req.Deltas, info.N)
+	if err != nil {
+		s.replyError(w, err)
+		return
+	}
+	pi, err := s.registry.Patch(id, deltas)
+	if err != nil {
+		s.replyError(w, err)
+		return
+	}
+	s.logger.Info("graph patched",
+		"graph_id", id, "revision", pi.Revision,
+		"deltas", pi.DeltasApplied, "effects", pi.Effects,
+		"sources_kept", pi.SourcesKept, "sources_dropped", pi.SourcesDropped,
+		"entries_migrated", pi.EntriesMigrated, "entries_invalidated", pi.EntriesInvalidated)
+	writeJSON(w, http.StatusOK, pi)
 }
 
 // --- sweep endpoints ---
@@ -452,6 +665,7 @@ type StatsResponse struct {
 	Rev            string           `json:"rev"`
 	UptimeNS       int64            `json:"uptime_ns"`
 	Cache          CacheStats       `json:"cache"`
+	Registry       RegistryStats    `json:"registry"`
 	Pool           PoolStats        `json:"pool"`
 	Jobs           map[JobState]int `json:"jobs"`
 	Store          StoreStats       `json:"store"`
@@ -478,6 +692,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Rev:      s.cfg.Rev,
 		UptimeNS: s.now().Sub(s.started).Nanoseconds(),
 		Cache:    s.cache.Stats(),
+		Registry: s.registry.Stats(),
 		Pool: PoolStats{
 			Workers:  s.cfg.Workers,
 			InFlight: int(s.metrics.poolBusy.Value()),
@@ -516,7 +731,10 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
 // client-closed-request code), everything else 500.
 func (s *Server) replyError(w http.ResponseWriter, err error) {
 	var br badRequest
+	var nf notFoundErr
 	switch {
+	case errors.As(err, &nf):
+		writeError(w, http.StatusNotFound, "%v", err)
 	case errors.As(err, &br):
 		writeError(w, http.StatusBadRequest, "%v", err)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
