@@ -63,6 +63,8 @@ func main() {
 		history     = flag.String("history", "dsssp-history", "append-only bench history directory")
 		cacheBytes  = flag.Int64("cache-bytes", 64<<20, "result cache byte budget")
 		graphBytes  = flag.Int64("graph-bytes", 256<<20, "dynamic-graph registry byte budget (registered graphs + per-source traces)")
+		registryDir = flag.String("registry-dir", "", "spill registered graphs and their traces to this directory and warm-start from it on boot (empty = in-memory only)")
+		repairMax   = flag.Float64("repair-max-affected", 0.5, "repair a dirty source only while the affected region stays under this fraction of the graph (0 = no cutoff, negative = disable repair)")
 		workers     = flag.Int("workers", 0, "query worker pool size (0 = NumCPU)")
 		intraCap    = flag.Int("max-intra", 0, "cap on a query's intra-round simulation workers (0 = NumCPU, 1 = force sequential; results are byte-identical either way)")
 		sweeps      = flag.Int("max-sweeps", 1, "sweep jobs allowed to run concurrently")
@@ -80,6 +82,7 @@ func main() {
 		loadSrcs    = flag.Int("load-sources", 32, "dynamic load: distinct query sources")
 		loadPatchEv = flag.Int("load-patch-every", 50, "dynamic load: one single-edge PATCH per this many queries")
 		loadSeed    = flag.Int64("load-seed", 1, "dynamic load: graph and patch-stream seed")
+		loadExpect  = flag.Bool("load-expect-repair", false, "dynamic load: fail unless at least one query was served by affected-region repair (when patches dirtied repairable sources)")
 	)
 	flag.Parse()
 
@@ -96,6 +99,7 @@ func main() {
 		runLoadDynamic(ctx, *loadDynamic, service.DynamicLoadOptions{
 			Concurrency: *loadConc, Requests: *loadReqs, N: *loadN,
 			Sources: *loadSrcs, PatchEvery: *loadPatchEv, Seed: *loadSeed,
+			ExpectRepair: *loadExpect,
 		})
 		return
 	}
@@ -112,6 +116,8 @@ func main() {
 		HistoryDir:          *history,
 		CacheBytes:          *cacheBytes,
 		GraphBytes:          *graphBytes,
+		RegistryDir:         *registryDir,
+		RepairMaxAffected:   *repairMax,
 		Workers:             *workers,
 		MaxIntraWorkers:     *intraCap,
 		MaxConcurrentSweeps: *sweeps,
@@ -185,19 +191,21 @@ func runLoad(ctx context.Context, baseURL string, opt service.LoadOptions) {
 }
 
 // runLoadDynamic drives the dynamic-graph workload and prints the JSON
-// report: reuse rate plus the reused/recomputed latency split.
+// report: reuse rate plus the reused/repaired/recomputed latency split.
 func runLoadDynamic(ctx context.Context, baseURL string, opt service.DynamicLoadOptions) {
 	rep, err := service.RunLoadDynamic(ctx, nil, strings.TrimRight(baseURL, "/"), opt)
-	if err != nil && !errors.Is(err, context.Canceled) {
-		die(err)
-	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	enc.Encode(rep)
 	fmt.Fprintf(os.Stderr,
-		"dsssp-serve: dynamic load: %d requests, %d patches, %.0f%% reused (p50 %.2fms) vs recomputed (p50 %.2fms), %d errors\n",
+		"dsssp-serve: dynamic load: %d requests, %d patches, %.0f%% reuse: %d reused (p50 %.2fms), %d repaired (p50 %.2fms), %d recomputed (p50 %.2fms), %d errors\n",
 		rep.Requests, rep.Patches, 100*rep.ReuseRate,
-		float64(rep.ReusedP50NS)/1e6, float64(rep.RecomputedP50NS)/1e6, rep.Errors)
+		rep.Reused, float64(rep.ReusedP50NS)/1e6,
+		rep.Repaired, float64(rep.RepairedP50NS)/1e6,
+		rep.Recomputed, float64(rep.RecomputedP50NS)/1e6, rep.Errors)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		die(err)
+	}
 	if rep.Errors > 0 {
 		os.Exit(1)
 	}

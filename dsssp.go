@@ -100,6 +100,17 @@ func ApplyDeltas(g *Graph, deltas []EdgeDelta) (*Graph, error) {
 	return graph.ApplyDeltas(g, deltas)
 }
 
+// WitnessParents extracts the canonical min-ID shortest-path tree implied
+// by an exact distance vector: parent[v] is the lowest-numbered neighbor u
+// with dist[u] + w(u,v) == dist[v] (-1 at the source and at unreachable
+// nodes). It is a pure function of (g, dist) and matches SSSPTree's Parent
+// byte-for-byte, which is what lets the serving layer rebuild a remembered
+// tree after a patch (affected-region repair) without re-running the
+// engine. dist must be exact for source; inexact vectors panic.
+func WitnessParents(g *Graph, source NodeID, dist []int64) []NodeID {
+	return graph.WitnessParents(g, source, dist)
+}
+
 // Metrics re-exports the simulator's complexity measures: Rounds (time),
 // MaxEdgeMessages (congestion), MaxAwake (energy), Messages, and more.
 type Metrics = simnet.Metrics

@@ -107,6 +107,67 @@ func TestIncrementalServingDifferential(t *testing.T) {
 	}
 }
 
+// TestRepairMatchesEngineTree closes the loop between affected-region
+// repair and the engine itself, in both models: remember an engine run's
+// distance vector and witness tree, patch the graph, repair — and the
+// repaired labels must be byte-identical to a from-scratch engine tree
+// extraction on the patched graph. This is the property that makes a
+// repaired serving response indistinguishable from a recomputed one.
+func TestRepairMatchesEngineTree(t *testing.T) {
+	families := []graph.Family{graph.FamilyRandom, graph.FamilyGrid, graph.FamilyExpander}
+	models := []Model{ModelCongest, ModelSleeping}
+	rng := rand.New(rand.NewSource(99))
+
+	for _, fam := range families {
+		for _, model := range models {
+			seed := rng.Int63()
+			g0 := graph.Make(fam, 18, graph.UniformWeights(8, seed), seed)
+			opts := &Options{Model: model}
+			s := NodeID(rng.Intn(g0.N()))
+
+			tr0, err := SSSPTree(g0, s, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", fam, model, err)
+			}
+			if !reflect.DeepEqual(tr0.Parent, WitnessParents(g0, s, tr0.Dist)) {
+				t.Fatalf("%s/%s: engine tree is not the min-ID witness tree", fam, model)
+			}
+
+			deltas := randomEngineBatch(rng, g0, 1+rng.Intn(3))
+			if len(deltas) == 0 {
+				continue
+			}
+			g1, err := ApplyDeltas(g0, deltas)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", fam, model, err)
+			}
+			// The base ledger the registry would keep: per touched pair, the
+			// pre-patch weight (-1 when absent), diffed against the head.
+			base := map[uint64]int64{}
+			for _, d := range deltas {
+				k := incr.PairKey(d.U, d.V)
+				if _, ok := base[k]; !ok {
+					base[k] = incr.BaseWeight(g0, d.U, d.V)
+				}
+			}
+			changes := incr.NetChanges(base, g1)
+
+			rr, ok := incr.Repair(g1, s, incr.Trace{Dist: tr0.Dist, Parent: tr0.Parent}, changes, 0)
+			if !ok {
+				t.Fatalf("%s/%s: repair declined with no budget", fam, model)
+			}
+			tr1, err := SSSPTree(g1, s, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", fam, model, err)
+			}
+			if !reflect.DeepEqual(rr.Dist, tr1.Dist) || !reflect.DeepEqual(rr.Parent, tr1.Parent) {
+				t.Fatalf("%s/%s: repaired labels diverge from engine rerun\ndeltas=%v\nrepair dist=%v parent=%v\nengine dist=%v parent=%v",
+					fam, model, deltas, rr.Dist, rr.Parent, tr1.Dist, tr1.Parent)
+			}
+		}
+	}
+}
+
 // TestAPSPFromMatchesFullRun pins that a partial fan-out's rows are
 // byte-identical to the same rows of a full APSP — the property that lets
 // the serving layer mix cached and recomputed rows in one response.

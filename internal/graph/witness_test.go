@@ -1,0 +1,88 @@
+package graph_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dsssp/internal/graph"
+)
+
+// bruteWitness recomputes the min-ID witness rule from the definition
+// (scan ALL neighbors, keep the smallest witnessing ID) without relying
+// on adjacency sort order, as an oracle for WitnessParent's
+// first-match-wins shortcut.
+func bruteWitness(g *graph.Graph, source graph.NodeID, dist []int64) []graph.NodeID {
+	parent := make([]graph.NodeID, g.N())
+	for v := range parent {
+		parent[v] = -1
+		if graph.NodeID(v) == source || dist[v] == graph.Inf {
+			continue
+		}
+		for _, h := range g.Adj(graph.NodeID(v)) {
+			if dist[h.To] == graph.Inf || dist[h.To]+h.W != dist[v] {
+				continue
+			}
+			if parent[v] < 0 || h.To < parent[v] {
+				parent[v] = h.To
+			}
+		}
+	}
+	return parent
+}
+
+func TestWitnessParentsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	families := []graph.Family{graph.FamilyRandom, graph.FamilyGrid, graph.FamilyCluster, graph.FamilyExpander, graph.FamilyDisconnected}
+	for _, fam := range families {
+		for trial := 0; trial < 4; trial++ {
+			n := 16 + rng.Intn(32)
+			var w graph.WeightFn
+			if trial%2 == 0 {
+				w = graph.UniformWeights(6, rng.Int63())
+			} else {
+				w = graph.ZeroHeavyWeights(4, rng.Int63()) // dist-0 non-sources
+			}
+			g := graph.Make(fam, n, w, rng.Int63())
+			s := graph.NodeID(rng.Intn(g.N())) // Make may round n (grids)
+			dist := graph.Dijkstra(g, s)
+			got := graph.WitnessParents(g, s, dist)
+			want := bruteWitness(g, s, dist)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s n=%d s=%d: witness tree diverges from brute force\ngot =%v\nwant=%v", fam, n, s, got, want)
+			}
+			// Every parent must be tight, and the source/unreachables -1.
+			for v, p := range got {
+				if graph.NodeID(v) == s || dist[v] == graph.Inf {
+					if p != -1 {
+						t.Fatalf("%s: node %d should be parentless, got %d", fam, v, p)
+					}
+				} else if p < 0 {
+					t.Fatalf("%s: reachable non-source %d has no parent", fam, v)
+				}
+			}
+		}
+	}
+}
+
+func TestWitnessParentPanicsOnInexactDist(t *testing.T) {
+	g := graph.Make(graph.FamilyPath, 4, graph.UnitWeights, 1)
+	dist := graph.Dijkstra(g, 0)
+	dist[2] = 99 // not achievable by any neighbor
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WitnessParent accepted an inexact distance vector")
+		}
+	}()
+	graph.WitnessParent(g, 2, dist)
+}
+
+func TestWitnessParentsLengthPanic(t *testing.T) {
+	g := graph.Make(graph.FamilyPath, 4, graph.UnitWeights, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WitnessParents accepted a short distance vector")
+		}
+	}()
+	graph.WitnessParents(g, 0, []int64{0, 1})
+}

@@ -141,23 +141,41 @@ func metricsJSON(m simnet.Metrics) MetricsJSON {
 }
 
 // SSSPResponse is the POST /v1/sssp result. Dist uses the +Inf sentinel
-// (1<<62) for unreachable nodes, mirrored in Unreachable.
+// (1<<62) for unreachable nodes, mirrored in Unreachable. A response
+// served by affected-region repair carries Incr instead of Metrics: no
+// simulation ran, so there are no rounds/messages to report — the
+// distances are still byte-identical to a full run's.
 type SSSPResponse struct {
 	N              int                 `json:"n"`
 	M              int                 `json:"m"`
 	Dist           []int64             `json:"dist"`
 	Unreachable    int                 `json:"unreachable"`
 	SubproblemsMax int                 `json:"subproblems_max,omitempty"`
-	Metrics        MetricsJSON         `json:"metrics"`
+	Metrics        MetricsJSON         `json:"metrics,omitzero"`
 	Phases         []harness.PhaseStat `json:"phases,omitempty"`
+	Incr           *QueryIncrJSON      `json:"incr,omitempty"`
+}
+
+// QueryIncrJSON is the incremental-serving block of a single-source
+// response that skipped the full computation.
+type QueryIncrJSON struct {
+	// Served is how the result was produced without a full run:
+	// "repaired" (affected-region repair of a stale trace).
+	Served string `json:"served"`
+	// AffectedVertices / AffectedFraction size the region the repair
+	// rebuilt (0 when the remembered trace was already exact).
+	AffectedVertices int     `json:"affected_vertices"`
+	AffectedFraction float64 `json:"affected_fraction"`
 }
 
 // PathResponse is the POST /v1/path result: the exact distance and one
-// shortest path target → … → source (both endpoints inclusive).
+// shortest path target → … → source (both endpoints inclusive). Repaired
+// responses carry Incr instead of Metrics (see SSSPResponse).
 type PathResponse struct {
-	Dist    int64       `json:"dist"`
-	Path    []int64     `json:"path"`
-	Metrics MetricsJSON `json:"metrics"`
+	Dist    int64          `json:"dist"`
+	Path    []int64        `json:"path"`
+	Metrics MetricsJSON    `json:"metrics,omitzero"`
+	Incr    *QueryIncrJSON `json:"incr,omitempty"`
 }
 
 // CompositionJSON is the wire form of the APSP scheduling composition.
@@ -185,9 +203,11 @@ type APSPResponse struct {
 }
 
 // IncrJSON is the incremental-serving split of an APSP response: how many
-// per-source instances were served from cached rows vs actually re-run.
+// per-source instances were served from cached rows, rebuilt by
+// affected-region repair, or actually re-run.
 type IncrJSON struct {
 	SourcesReused     int `json:"sources_reused"`
+	SourcesRepaired   int `json:"sources_repaired,omitempty"`
 	SourcesRecomputed int `json:"sources_recomputed"`
 }
 

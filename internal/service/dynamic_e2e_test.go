@@ -209,6 +209,163 @@ func TestDynamicAPSPIncremental(t *testing.T) {
 	}
 }
 
+// ciGraphPatchedJSON is ciGraph() after the chord reweight {0,2}: 10 → 1,
+// as an inline wire spec — the from-scratch oracle for repaired answers.
+const ciGraphPatchedJSON = `{"n":4,"edges":[[0,1,1],[1,2,1],[2,3,1],[0,3,1],[0,2,1]]}`
+
+// TestRepairServing walks the affected-region repair path over the wire:
+// a query traces a source, a PATCH dirties it (stale trace kept), and the
+// re-query is served by repair — flagged in header, body, and /v1/stats —
+// with distances byte-identical to a from-scratch run of the new content.
+func TestRepairServing(t *testing.T) {
+	s := testServer(t)
+	var info GraphInfo
+	decodeBody(t, do(t, s, "POST", "/v1/graphs", `{"graph":`+ciGraphJSON+`}`), http.StatusCreated, &info)
+
+	query := func(src int) (*httptest.ResponseRecorder, SSSPResponse) {
+		w := do(t, s, "POST", "/v1/sssp", fmt.Sprintf(`{"graph":{"graph_id":%q},"source":%d}`, info.ID, src))
+		var resp SSSPResponse
+		decodeBody(t, w, http.StatusOK, &resp)
+		return w, resp
+	}
+
+	// First query recomputes (nothing to repair from) and records the trace.
+	w, _ := query(0)
+	if got := w.Header().Get("X-Dsssp-Incr"); got != "recomputed" {
+		t.Fatalf("first query X-Dsssp-Incr = %q, want recomputed", got)
+	}
+
+	// The chord drops to 1: source 0 goes dirty but keeps its stale trace.
+	var pi PatchInfo
+	decodeBody(t, do(t, s, "PATCH", "/v1/graphs/"+info.ID+"/edges",
+		`{"deltas":[{"op":"reweight","u":0,"v":2,"w":1}]}`), http.StatusOK, &pi)
+	if pi.SourcesRepairable != 1 {
+		t.Fatalf("patch info = %+v", pi)
+	}
+
+	// The re-query is served by repair, not recomputation.
+	w, repaired := query(0)
+	if w.Header().Get("X-Dsssp-Cache") != "miss" || w.Header().Get("X-Dsssp-Incr") != "repaired" {
+		t.Fatalf("repair headers: cache=%s incr=%s", w.Header().Get("X-Dsssp-Cache"), w.Header().Get("X-Dsssp-Incr"))
+	}
+	if repaired.Incr == nil || repaired.Incr.Served != "repaired" || repaired.Incr.AffectedVertices == 0 {
+		t.Fatalf("repair incr block = %+v", repaired.Incr)
+	}
+	// The repair promoted the trace to the head revision: the next query is
+	// served from the exact trace (Affected == 0), still without simulation.
+	// (This must run before the inline oracle below — that query caches the
+	// canonical body under the same content digest, turning handle queries
+	// into plain hits.)
+	if _, again := query(0); again.Incr == nil || again.Incr.Served != "repaired" ||
+		again.Incr.AffectedVertices != 0 || !reflect.DeepEqual(again.Dist, repaired.Dist) {
+		t.Fatalf("post-repair re-query not served from the promoted trace: %+v", again.Incr)
+	}
+
+	var fresh SSSPResponse
+	decodeBody(t, do(t, s, "POST", "/v1/sssp", `{"graph":`+ciGraphPatchedJSON+`,"source":0}`), http.StatusOK, &fresh)
+	if !reflect.DeepEqual(repaired.Dist, fresh.Dist) {
+		t.Fatalf("repaired distances diverge from scratch: %v vs %v", repaired.Dist, fresh.Dist)
+	}
+
+	// A path query rides the same witness tree: repaired distance and path
+	// must be byte-identical to the from-scratch tree extraction.
+	w = do(t, s, "POST", "/v1/path", fmt.Sprintf(`{"graph":{"graph_id":%q},"source":0,"target":2}`, info.ID))
+	var repairedPath PathResponse
+	decodeBody(t, w, http.StatusOK, &repairedPath)
+	if w.Header().Get("X-Dsssp-Incr") != "repaired" || repairedPath.Incr == nil {
+		t.Fatalf("path repair: incr=%s block=%+v", w.Header().Get("X-Dsssp-Incr"), repairedPath.Incr)
+	}
+	var freshPath PathResponse
+	decodeBody(t, do(t, s, "POST", "/v1/path", `{"graph":`+ciGraphPatchedJSON+`,"source":0,"target":2}`), http.StatusOK, &freshPath)
+	if repairedPath.Dist != freshPath.Dist || !reflect.DeepEqual(repairedPath.Path, freshPath.Path) {
+		t.Fatalf("repaired path diverges: dist %d path %v, want dist %d path %v",
+			repairedPath.Dist, repairedPath.Path, freshPath.Dist, freshPath.Path)
+	}
+
+	// The serving split is visible at /v1/stats.
+	var st StatsResponse
+	decodeBody(t, do(t, s, "GET", "/v1/stats", ""), http.StatusOK, &st)
+	if st.Incr.SourcesRepaired < 2 {
+		t.Fatalf("stats incr = %+v, want sources_repaired >= 2", st.Incr)
+	}
+
+	// ?trace=1 asks for the per-phase breakdown only a real simulation can
+	// produce: repair must step aside.
+	w = do(t, s, "POST", "/v1/sssp?trace=1", fmt.Sprintf(`{"graph":{"graph_id":%q},"source":0}`, info.ID))
+	var traced SSSPResponse
+	decodeBody(t, w, http.StatusOK, &traced)
+	if traced.Incr != nil || len(traced.Phases) == 0 {
+		t.Fatalf("trace=1 served by repair: incr=%+v phases=%d", traced.Incr, len(traced.Phases))
+	}
+}
+
+// TestRepairDisabled pins the -repair-max-affected=-1 escape hatch: the
+// dirty source recomputes from scratch, never touching the repair path.
+func TestRepairDisabled(t *testing.T) {
+	s, err := New(Config{HistoryDir: t.TempDir(), Workers: 4, Rev: "test", RepairMaxAffected: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	var info GraphInfo
+	decodeBody(t, do(t, s, "POST", "/v1/graphs", `{"graph":`+ciGraphJSON+`}`), http.StatusCreated, &info)
+	body := fmt.Sprintf(`{"graph":{"graph_id":%q},"source":0}`, info.ID)
+	if w := do(t, s, "POST", "/v1/sssp", body); w.Code != http.StatusOK {
+		t.Fatalf("seed query: %d", w.Code)
+	}
+	do(t, s, "PATCH", "/v1/graphs/"+info.ID+"/edges", `{"deltas":[{"op":"reweight","u":0,"v":2,"w":1}]}`)
+	w := do(t, s, "POST", "/v1/sssp", body)
+	var resp SSSPResponse
+	decodeBody(t, w, http.StatusOK, &resp)
+	if w.Header().Get("X-Dsssp-Incr") != "recomputed" || resp.Incr != nil {
+		t.Fatalf("repair ran while disabled: incr=%s block=%+v", w.Header().Get("X-Dsssp-Incr"), resp.Incr)
+	}
+}
+
+// TestRepairWarmStart spans two server lifetimes: the first traces and
+// dirties a source, shuts down (flushing the registry spill), and the
+// second — a fresh process sharing only -registry-dir — serves the same
+// handle by repair without ever having computed anything.
+func TestRepairWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	mk := func() *Server {
+		t.Helper()
+		s, err := New(Config{HistoryDir: t.TempDir(), Workers: 4, Rev: "test", RegistryDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	s1 := mk()
+	var info GraphInfo
+	decodeBody(t, do(t, s1, "POST", "/v1/graphs", `{"graph":`+ciGraphJSON+`}`), http.StatusCreated, &info)
+	if w := do(t, s1, "POST", "/v1/sssp", fmt.Sprintf(`{"graph":{"graph_id":%q},"source":0}`, info.ID)); w.Code != http.StatusOK {
+		t.Fatalf("seed query: %d", w.Code)
+	}
+	do(t, s1, "PATCH", "/v1/graphs/"+info.ID+"/edges", `{"deltas":[{"op":"reweight","u":0,"v":2,"w":1}]}`)
+	s1.Close() // the SIGTERM path: flush query-accumulated traces to disk
+
+	s2 := mk()
+	t.Cleanup(s2.Close)
+	var got GraphInfo
+	decodeBody(t, do(t, s2, "GET", "/v1/graphs/"+info.ID, ""), http.StatusOK, &got)
+	if got.Revision != 2 || got.StaleSources != 1 {
+		t.Fatalf("warm-started graph = %+v", got)
+	}
+	w := do(t, s2, "POST", "/v1/sssp", fmt.Sprintf(`{"graph":{"graph_id":%q},"source":0}`, info.ID))
+	var resp SSSPResponse
+	decodeBody(t, w, http.StatusOK, &resp)
+	if w.Header().Get("X-Dsssp-Incr") != "repaired" {
+		t.Fatalf("warm-started query X-Dsssp-Incr = %q, want repaired", w.Header().Get("X-Dsssp-Incr"))
+	}
+	var fresh SSSPResponse
+	decodeBody(t, do(t, s2, "POST", "/v1/sssp", `{"graph":`+ciGraphPatchedJSON+`,"source":0}`), http.StatusOK, &fresh)
+	if !reflect.DeepEqual(resp.Dist, fresh.Dist) {
+		t.Fatalf("warm-started repair diverges: %v vs %v", resp.Dist, fresh.Dist)
+	}
+}
+
 // TestPatchQueryRace hammers PATCH (toggling one edge weight between two
 // contents) against concurrent queries on the same handle; under -race
 // this exercises the registry/cache locking, and every response must be

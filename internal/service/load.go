@@ -87,7 +87,7 @@ func RunLoad(ctx context.Context, client *http.Client, baseURL string, opt LoadO
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				hit, err := oneLoadRequest(ctx, client, baseURL, bodies[i%len(bodies)])
+				hit, _, err := oneLoadRequest(ctx, client, baseURL, bodies[i%len(bodies)])
 				mu.Lock()
 				switch {
 				case err != nil:
@@ -124,23 +124,26 @@ func RunLoad(ctx context.Context, client *http.Client, baseURL string, opt LoadO
 	return rep, ctx.Err()
 }
 
-func oneLoadRequest(ctx context.Context, client *http.Client, baseURL string, body []byte) (hit bool, err error) {
+// oneLoadRequest fires a single SSSP query and reports how it was
+// served: hit is the X-Dsssp-Cache verdict, incr is the X-Dsssp-Incr
+// verdict ("repaired"/"recomputed", empty off the registered path).
+func oneLoadRequest(ctx context.Context, client *http.Client, baseURL string, body []byte) (hit bool, incr string, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/sssp", bytes.NewReader(body))
 	if err != nil {
-		return false, err
+		return false, "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return false, err
+		return false, "", err
 	}
 	defer resp.Body.Close()
 	payload, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return false, err
+		return false, "", err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return false, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(payload))
+		return false, "", fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(payload))
 	}
-	return resp.Header.Get("X-Dsssp-Cache") == "hit", nil
+	return resp.Header.Get("X-Dsssp-Cache") == "hit", resp.Header.Get("X-Dsssp-Incr"), nil
 }

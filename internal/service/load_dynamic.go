@@ -28,6 +28,11 @@ type DynamicLoadOptions struct {
 	Sources     int   `json:"sources"`
 	PatchEvery  int   `json:"patch_every"`
 	Seed        int64 `json:"seed"`
+	// ExpectRepair turns the run into an assertion: if the PATCH stream
+	// dirtied at least one repairable source but no query was served by
+	// affected-region repair, the run fails instead of silently measuring
+	// the full-recompute path.
+	ExpectRepair bool `json:"expect_repair,omitempty"`
 }
 
 func (o *DynamicLoadOptions) applyDefaults() {
@@ -56,8 +61,10 @@ func (o *DynamicLoadOptions) applyDefaults() {
 
 // DynamicLoadReport is the dynamic-graph workload outcome. Reused counts
 // queries answered from the cache (trace survived every PATCH since the
-// last recompute); Recomputed counts cache misses. The per-class latency
-// split is the point: reused queries cost a map lookup, recomputed ones a
+// last recompute); Repaired counts dirty sources rebuilt from their stale
+// trace by affected-region repair; Recomputed counts full simulations.
+// The three-way latency split is the point: reused queries cost a map
+// lookup, repaired ones an affected-region rebuild, recomputed ones a
 // full simulation.
 type DynamicLoadReport struct {
 	Options DynamicLoadOptions `json:"options"`
@@ -68,12 +75,18 @@ type DynamicLoadReport struct {
 	Requests   int     `json:"requests"`
 	Patches    int     `json:"patches"`
 	Reused     int     `json:"reused"`
+	Repaired   int     `json:"repaired"`
 	Recomputed int     `json:"recomputed"`
 	Errors     int     `json:"errors"`
 	ReuseRate  float64 `json:"reuse_rate"`
+	// DirtiedSources sums the per-PATCH count of traced sources that went
+	// dirty with a stale trace kept — the population repair could serve.
+	DirtiedSources int `json:"dirtied_sources"`
 
 	ReusedP50NS     int64 `json:"reused_p50_ns"`
 	ReusedP99NS     int64 `json:"reused_p99_ns"`
+	RepairedP50NS   int64 `json:"repaired_p50_ns"`
+	RepairedP99NS   int64 `json:"repaired_p99_ns"`
 	RecomputedP50NS int64 `json:"recomputed_p50_ns"`
 	RecomputedP99NS int64 `json:"recomputed_p99_ns"`
 
@@ -121,9 +134,9 @@ func RunLoadDynamic(ctx context.Context, client *http.Client, baseURL string, op
 	}
 
 	var (
-		mu                 sync.Mutex
-		reused, recomputed []time.Duration
-		wg                 sync.WaitGroup
+		mu                           sync.Mutex
+		reused, repaired, recomputed []time.Duration
+		wg                           sync.WaitGroup
 	)
 	idx := make(chan int)
 	start := time.Now()
@@ -133,7 +146,7 @@ func RunLoadDynamic(ctx context.Context, client *http.Client, baseURL string, op
 			defer wg.Done()
 			for i := range idx {
 				t0 := time.Now()
-				hit, err := oneLoadRequest(ctx, client, baseURL, queryBodies[i%len(queryBodies)])
+				hit, incr, err := oneLoadRequest(ctx, client, baseURL, queryBodies[i%len(queryBodies)])
 				d := time.Since(t0)
 				mu.Lock()
 				switch {
@@ -144,6 +157,8 @@ func RunLoadDynamic(ctx context.Context, client *http.Client, baseURL string, op
 					}
 				case hit:
 					reused = append(reused, d)
+				case incr == "repaired":
+					repaired = append(repaired, d)
 				default:
 					recomputed = append(recomputed, d)
 				}
@@ -189,6 +204,7 @@ func RunLoadDynamic(ctx context.Context, client *http.Client, baseURL string, op
 			} else {
 				rep.Patches++
 				rep.FinalRevision = pi.Revision
+				rep.DirtiedSources += pi.SourcesRepairable
 			}
 			mu.Unlock()
 		}
@@ -200,15 +216,21 @@ func RunLoadDynamic(ctx context.Context, client *http.Client, baseURL string, op
 	wg.Wait()
 
 	rep.WallNS = time.Since(start).Nanoseconds()
-	rep.Reused, rep.Recomputed = len(reused), len(recomputed)
-	rep.Requests = rep.Reused + rep.Recomputed + rep.Errors
-	if served := rep.Reused + rep.Recomputed; served > 0 {
-		rep.ReuseRate = float64(rep.Reused) / float64(served)
+	rep.Reused, rep.Repaired, rep.Recomputed = len(reused), len(repaired), len(recomputed)
+	rep.Requests = rep.Reused + rep.Repaired + rep.Recomputed + rep.Errors
+	if served := rep.Reused + rep.Repaired + rep.Recomputed; served > 0 {
+		// Repaired queries avoided a full simulation too: count them on the
+		// reuse side of the rate.
+		rep.ReuseRate = float64(rep.Reused+rep.Repaired) / float64(served)
 	}
 	rep.ReusedP50NS, rep.ReusedP99NS = percentiles(reused)
+	rep.RepairedP50NS, rep.RepairedP99NS = percentiles(repaired)
 	rep.RecomputedP50NS, rep.RecomputedP99NS = percentiles(recomputed)
 	if rep.WallNS > 0 {
 		rep.RPS = float64(rep.Requests) / (float64(rep.WallNS) / 1e9)
+	}
+	if opt.ExpectRepair && rep.DirtiedSources > 0 && rep.Repaired == 0 {
+		return rep, fmt.Errorf("expect-repair: %d sources went dirty with stale traces kept but no query was served by repair", rep.DirtiedSources)
 	}
 	return rep, ctx.Err()
 }

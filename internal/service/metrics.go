@@ -43,6 +43,15 @@ type serverMetrics struct {
 	incrEntriesMigrated    *obs.Counter
 	incrEntriesInvalidated *obs.Counter
 	patchDirtyFraction     *obs.Histogram
+
+	// Affected-region repair: dirty sources rebuilt from their stale trace
+	// instead of recomputed from scratch, the fraction of the graph each
+	// repair touched, its wall time, and how often repair declined
+	// (no trace, or over the affected-fraction cutoff).
+	incrSourcesRepaired    *obs.Counter
+	incrRepairFallbacks    *obs.Counter
+	repairAffectedFraction *obs.Histogram
+	repairSeconds          *obs.Histogram
 }
 
 func newServerMetrics(cfg *Config, cache *Cache, store *Store, registry *GraphRegistry) *serverMetrics {
@@ -81,6 +90,16 @@ func newServerMetrics(cfg *Config, cache *Cache, store *Store, registry *GraphRe
 		patchDirtyFraction: r.Histogram("dsssp_incr_patch_dirty_fraction",
 			"Per-PATCH fraction of traced sources classified dirty (recompute-needed).",
 			[]float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}),
+		incrSourcesRepaired: r.Counter("dsssp_incr_sources_repaired_total",
+			"Dirty sources served by affected-region repair of a stale trace (no full recomputation)."),
+		incrRepairFallbacks: r.Counter("dsssp_incr_repair_fallbacks_total",
+			"Repair attempts that fell back to full recomputation (affected region over the cutoff)."),
+		repairAffectedFraction: r.Histogram("dsssp_incr_affected_fraction",
+			"Per-repair fraction of vertices whose label was rebuilt.",
+			[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1}),
+		repairSeconds: r.Histogram("dsssp_incr_repair_seconds",
+			"Wall seconds spent in affected-region repair (successful or abandoned).",
+			obs.LatencyBuckets),
 	}
 	r.Gauge("dsssp_query_pool_workers", "Configured worker-pool size.").Set(int64(cfg.Workers))
 	r.GaugeFunc("dsssp_graphs_registered",

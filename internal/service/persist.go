@@ -1,0 +1,254 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"dsssp/internal/graph"
+)
+
+// Registry persistence: with -registry-dir set, every registered graph is
+// spilled to <dir>/<id>.json on register and PATCH (and on Flush, which
+// the server calls at shutdown so traces accumulated by queries survive
+// too), and reloaded on startup — a redeploy doesn't forget every
+// registered graph. Files are written whole via temp + rename in the same
+// directory, so a crash mid-write leaves either the old file or the new
+// one, never a torn read. Cache-entry addresses are deliberately NOT
+// persisted: the result cache starts empty after a restart, and the first
+// query per source re-mints them; distance rows, witness trees and stale
+// ledgers — the expensive state — all survive.
+
+// persistedGraph is the on-disk form of one registered graph.
+type persistedGraph struct {
+	ID        string           `json:"id"`
+	Revision  int              `json:"revision"`
+	N         int              `json:"n"`
+	Edges     [][3]int64       `json:"edges"` // [u, v, w] triples
+	CreatedNS int64            `json:"created_at_ns"`
+	PatchedNS int64            `json:"patched_at_ns,omitempty"`
+	Traces    []persistedTrace `json:"traces,omitempty"`
+	Stale     []persistedStale `json:"stale,omitempty"`
+}
+
+type persistedTrace struct {
+	Src    int32          `json:"src"`
+	Dist   []int64        `json:"dist"`
+	Parent []graph.NodeID `json:"parent,omitempty"`
+}
+
+type persistedStale struct {
+	Src    int32          `json:"src"`
+	Dist   []int64        `json:"dist"`
+	Parent []graph.NodeID `json:"parent"`
+	// The base-weight ledger, split into parallel arrays (JSON objects
+	// can't key on uint64 without string round-trips).
+	BaseKeys    []uint64 `json:"base_keys"`
+	BaseWeights []int64  `json:"base_weights"`
+}
+
+// EnablePersistence turns on spill-to-disk under dir (created if missing)
+// and reloads every graph already spilled there, least recently patched
+// first so the LRU order favors recent activity. Returns how many graphs
+// were restored. Call once, before the registry is shared.
+func (r *GraphRegistry) EnablePersistence(dir string) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	var loaded []*persistedGraph
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return 0, err
+		}
+		var pg persistedGraph
+		if err := json.Unmarshal(raw, &pg); err != nil {
+			return 0, fmt.Errorf("registry persistence: %s: %w", e.Name(), err)
+		}
+		loaded = append(loaded, &pg)
+	}
+	sort.Slice(loaded, func(a, b int) bool { return recencyNS(loaded[a]) < recencyNS(loaded[b]) })
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dir = dir
+	restored := 0
+	for _, pg := range loaded {
+		if err := r.restoreLocked(pg); err != nil {
+			return restored, fmt.Errorf("registry persistence: %s: %w", pg.ID, err)
+		}
+		restored++
+	}
+	return restored, nil
+}
+
+func recencyNS(pg *persistedGraph) int64 {
+	if pg.PatchedNS != 0 {
+		return pg.PatchedNS
+	}
+	return pg.CreatedNS
+}
+
+// restoreLocked rebuilds one graph from its spilled form. The digest is
+// recomputed from content, never trusted from disk.
+func (r *GraphRegistry) restoreLocked(pg *persistedGraph) error {
+	if _, dup := r.graphs[pg.ID]; dup {
+		return fmt.Errorf("duplicate id")
+	}
+	if pg.N <= 0 || pg.Revision <= 0 {
+		return fmt.Errorf("malformed header (n=%d revision=%d)", pg.N, pg.Revision)
+	}
+	g := graph.New(pg.N)
+	for _, e := range pg.Edges {
+		g.AddEdge(graph.NodeID(e[0]), graph.NodeID(e[1]), e[2])
+	}
+	g.SortAdj()
+	head := &revision{
+		num:    pg.Revision,
+		digest: canonicalGraphDigest(g),
+		g:      g,
+		traces: make(map[graph.NodeID]*sourceTrace, len(pg.Traces)),
+		stale:  make(map[graph.NodeID]*staleTrace, len(pg.Stale)),
+	}
+	bytes := graphBytes(g)
+	for _, pt := range pg.Traces {
+		if len(pt.Dist) != g.N() || (pt.Parent != nil && len(pt.Parent) != g.N()) {
+			return fmt.Errorf("trace for source %d has wrong length", pt.Src)
+		}
+		tr := &sourceTrace{dist: pt.Dist, parent: pt.Parent, entries: make(map[string]struct{})}
+		tr.bytes = traceBytes(tr.dist, tr.parent)
+		head.traces[graph.NodeID(pt.Src)] = tr
+		bytes += tr.bytes
+	}
+	for _, ps := range pg.Stale {
+		if len(ps.Dist) != g.N() || len(ps.Parent) != g.N() || len(ps.BaseKeys) != len(ps.BaseWeights) {
+			return fmt.Errorf("stale trace for source %d is malformed", ps.Src)
+		}
+		st := &staleTrace{dist: ps.Dist, parent: ps.Parent, base: make(map[uint64]int64, len(ps.BaseKeys))}
+		for i, k := range ps.BaseKeys {
+			st.base[k] = ps.BaseWeights[i]
+		}
+		st.bytes = staleTraceBytes(st)
+		head.stale[graph.NodeID(ps.Src)] = st
+		bytes += st.bytes
+	}
+	rg := &regGraph{
+		id:        pg.ID,
+		createdAt: time.Unix(0, pg.CreatedNS),
+		head:      head,
+		bytes:     bytes,
+	}
+	if pg.PatchedNS != 0 {
+		rg.patchedAt = time.Unix(0, pg.PatchedNS)
+	}
+	rg.el = r.lru.PushFront(rg)
+	r.graphs[pg.ID] = rg
+	r.bytes += rg.bytes
+	r.evictLocked(rg)
+	return nil
+}
+
+// Flush spills every resident graph (traces accumulated since the last
+// register/PATCH included). No-op without persistence.
+func (r *GraphRegistry) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dir == "" {
+		return nil
+	}
+	var first error
+	for _, rg := range r.graphs {
+		if err := r.writeLocked(rg); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// spillLocked is the best-effort per-mutation spill (register/PATCH). A
+// failed spill never fails the mutation — persistence degrades, serving
+// doesn't — but it does surface in the next Flush.
+func (r *GraphRegistry) spillLocked(rg *regGraph) {
+	if r.dir == "" {
+		return
+	}
+	_ = r.writeLocked(rg)
+}
+
+func (r *GraphRegistry) unspillLocked(id string) {
+	if r.dir == "" {
+		return
+	}
+	_ = os.Remove(filepath.Join(r.dir, id+".json"))
+}
+
+func (r *GraphRegistry) writeLocked(rg *regGraph) error {
+	pg := persistedGraph{
+		ID:        rg.id,
+		Revision:  rg.head.num,
+		N:         rg.head.g.N(),
+		CreatedNS: rg.createdAt.UnixNano(),
+	}
+	if !rg.patchedAt.IsZero() {
+		pg.PatchedNS = rg.patchedAt.UnixNano()
+	}
+	for _, e := range rg.head.g.Edges() {
+		pg.Edges = append(pg.Edges, [3]int64{int64(e.U), int64(e.V), e.W})
+	}
+	for src, tr := range rg.head.traces {
+		if src == apspTraceKey {
+			continue // cache-entry addresses only; nothing to warm-start
+		}
+		pg.Traces = append(pg.Traces, persistedTrace{Src: int32(src), Dist: tr.dist, Parent: tr.parent})
+	}
+	sort.Slice(pg.Traces, func(a, b int) bool { return pg.Traces[a].Src < pg.Traces[b].Src })
+	for src, st := range rg.head.stale {
+		ps := persistedStale{Src: int32(src), Dist: st.dist, Parent: st.parent}
+		ps.BaseKeys = make([]uint64, 0, len(st.base))
+		for k := range st.base {
+			ps.BaseKeys = append(ps.BaseKeys, k)
+		}
+		sort.Slice(ps.BaseKeys, func(a, b int) bool { return ps.BaseKeys[a] < ps.BaseKeys[b] })
+		ps.BaseWeights = make([]int64, len(ps.BaseKeys))
+		for i, k := range ps.BaseKeys {
+			ps.BaseWeights[i] = st.base[k]
+		}
+		pg.Stale = append(pg.Stale, ps)
+	}
+	sort.Slice(pg.Stale, func(a, b int) bool { return pg.Stale[a].Src < pg.Stale[b].Src })
+
+	raw, err := json.Marshal(&pg)
+	if err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(r.dir, "."+rg.id+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(r.dir, rg.id+".json")); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

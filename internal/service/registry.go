@@ -41,6 +41,11 @@ type GraphRegistry struct {
 	// Monotonic counters for RegistryStats.
 	revisions int64 // revisions ever created (registrations + patches)
 	evictions int64
+
+	// dir, when non-empty, is the persistence directory: registered graphs
+	// and their traces are spilled to <dir>/<id>.json on register/PATCH and
+	// reloaded on startup (see persist.go).
+	dir string
 }
 
 type regGraph struct {
@@ -63,6 +68,11 @@ type revision struct {
 	// parts derived from it. The sentinel apspTraceKey tracks whole-APSP
 	// response bodies, which cover every source at once.
 	traces map[graph.NodeID]*sourceTrace
+	// stale maps source → the last exact trace it had before a PATCH
+	// dirtied it, plus the base-weight ledger needed to repair it
+	// (incr.Repair) instead of recomputing from scratch. A source is in
+	// traces or stale, never both.
+	stale map[graph.NodeID]*staleTrace
 }
 
 // apspTraceKey indexes the pseudo-trace holding whole-APSP body entries;
@@ -71,9 +81,27 @@ type revision struct {
 const apspTraceKey = graph.NodeID(-1)
 
 type sourceTrace struct {
-	dist    []int64 // nil for apspTraceKey
+	dist []int64 // nil for apspTraceKey
+	// parent is the deterministic min-ID witness tree for dist, nil when it
+	// was never derived (a trace without a parent tree migrates and serves
+	// but cannot be repaired once dirty).
+	parent  []graph.NodeID
 	entries map[string]struct{}
 	bytes   int64
+}
+
+// staleTrace is a dirty source's remembered structure: the distance row and
+// witness tree that were exact at some past revision, plus the base-weight
+// ledger — canonical pair key → that pair's weight on the trace's graph
+// (-1 for absent) for every pair patched since. incr.NetChanges resolves
+// the ledger against the head graph into the repair engine's input; the
+// first-touch-wins discipline (see Patch) keeps it composable across
+// stacked patches.
+type staleTrace struct {
+	dist   []int64
+	parent []graph.NodeID
+	base   map[uint64]int64
+	bytes  int64
 }
 
 // NewGraphRegistry returns a registry with the given byte budget, wired to
@@ -107,8 +135,10 @@ type GraphInfo struct {
 	// registry budget (graph + cached traces).
 	Bytes         int64 `json:"bytes"`
 	TracedSources int   `json:"traced_sources"`
-	CreatedAtNS   int64 `json:"created_at_ns"`
-	PatchedAtNS   int64 `json:"patched_at_ns,omitempty"`
+	// StaleSources counts dirty sources holding a repairable stale trace.
+	StaleSources int   `json:"stale_sources,omitempty"`
+	CreatedAtNS  int64 `json:"created_at_ns"`
+	PatchedAtNS  int64 `json:"patched_at_ns,omitempty"`
 }
 
 // graphBytes approximates a snapshot's resident footprint: two adjacency
@@ -117,7 +147,13 @@ func graphBytes(g *graph.Graph) int64 {
 	return int64(g.N())*24 + int64(g.M())*48
 }
 
-func traceBytes(dist []int64) int64 { return int64(len(dist))*8 + 64 }
+func traceBytes(dist []int64, parent []graph.NodeID) int64 {
+	return int64(len(dist))*8 + int64(len(parent))*4 + 64
+}
+
+func staleTraceBytes(st *staleTrace) int64 {
+	return int64(len(st.dist))*8 + int64(len(st.parent))*4 + int64(len(st.base))*16 + 96
+}
 
 // Register adds the graph under a content-derived handle and returns its
 // info. Registration is idempotent: posting a graph whose content matches
@@ -150,6 +186,7 @@ func (r *GraphRegistry) Register(g *graph.Graph) (GraphInfo, bool) {
 			digest: digest,
 			g:      g,
 			traces: make(map[graph.NodeID]*sourceTrace),
+			stale:  make(map[graph.NodeID]*staleTrace),
 		},
 		bytes: graphBytes(g),
 	}
@@ -158,6 +195,7 @@ func (r *GraphRegistry) Register(g *graph.Graph) (GraphInfo, bool) {
 	r.bytes += rg.bytes
 	r.revisions++
 	r.evictLocked(rg)
+	r.spillLocked(rg)
 	return r.infoLocked(rg), true
 }
 
@@ -224,10 +262,14 @@ type PatchInfo struct {
 	Effects int `json:"effects"`
 	// SourcesKept / SourcesDropped classify the parent revision's traced
 	// sources: kept = untouched (results carried forward verbatim),
-	// dropped = dirty (will recompute on next query).
-	SourcesKept    int     `json:"sources_kept"`
-	SourcesDropped int     `json:"sources_dropped"`
-	DirtyFraction  float64 `json:"dirty_fraction"`
+	// dropped = dirty (cache entries invalidated). SourcesRepairable is the
+	// subset of dropped sources demoted to a stale trace + base-weight
+	// ledger instead of being forgotten — the next query repairs them
+	// (incr.Repair) rather than recomputing from scratch.
+	SourcesKept       int     `json:"sources_kept"`
+	SourcesDropped    int     `json:"sources_dropped"`
+	SourcesRepairable int     `json:"sources_repairable"`
+	DirtyFraction     float64 `json:"dirty_fraction"`
 	// EntriesMigrated / EntriesInvalidated count result-cache entries
 	// re-addressed to the new revision vs dropped — the edge-granular
 	// invalidation ledger.
@@ -267,6 +309,7 @@ func (r *GraphRegistry) Patch(id string, deltas []graph.EdgeDelta) (PatchInfo, e
 		digest: newDigest,
 		g:      ng,
 		traces: make(map[graph.NodeID]*sourceTrace, len(old.traces)),
+		stale:  make(map[graph.NodeID]*staleTrace, len(old.stale)),
 	}
 
 	info := PatchInfo{
@@ -284,11 +327,36 @@ func (r *GraphRegistry) Patch(id string, deltas []graph.EdgeDelta) (PatchInfo, e
 		if incr.SourceDirty(effects, tr.dist) {
 			info.SourcesDropped++
 			info.EntriesInvalidated += r.dropEntriesLocked(old.digest, tr)
+			// Demote rather than forget: the trace was exact on old.g, so a
+			// ledger of this batch's pairs at their old.g weights is exactly
+			// what incr.Repair needs to catch it up on a later query. A
+			// trace without a witness tree can't be repaired — drop it.
+			if tr.parent != nil {
+				st := &staleTrace{dist: tr.dist, parent: tr.parent, base: baseLedger(old.g, effects)}
+				st.bytes = staleTraceBytes(st)
+				next.stale[src] = st
+				info.SourcesRepairable++
+			}
 			continue
 		}
 		info.SourcesKept++
 		info.EntriesMigrated += r.migrateTraceLocked(old.digest, newDigest, tr)
 		next.traces[src] = tr
+	}
+	// Sources already stale from earlier patches stay repairable: extend
+	// their ledgers with this batch's pairs — first touch wins, at old.g
+	// weights, which are the trace-time weights for any pair not already in
+	// the ledger (an earlier patch touching it would have recorded it).
+	for src, st := range old.stale {
+		for _, e := range effects {
+			k := incr.PairKey(e.U, e.V)
+			if _, ok := st.base[k]; !ok {
+				st.base[k] = incr.BaseWeight(old.g, e.U, e.V)
+			}
+		}
+		st.bytes = staleTraceBytes(st)
+		next.stale[src] = st
+		info.SourcesRepairable++
 	}
 	// Whole-APSP bodies cover every source at once: they survive only when
 	// all n sources are traced and none is dirty.
@@ -311,10 +379,14 @@ func (r *GraphRegistry) Patch(id string, deltas []graph.EdgeDelta) (PatchInfo, e
 		r.m.incrEntriesInvalidated.Add(int64(info.EntriesInvalidated))
 	}
 
-	// Swap the head and re-account: dropped traces refund their bytes.
+	// Swap the head and re-account: dropped traces refund their bytes,
+	// demoted and extended stale traces charge theirs.
 	var traceB int64
 	for _, tr := range next.traces {
 		traceB += tr.bytes
+	}
+	for _, st := range next.stale {
+		traceB += st.bytes
 	}
 	newBytes := graphBytes(ng) + traceB
 	r.bytes += newBytes - rg.bytes
@@ -324,7 +396,21 @@ func (r *GraphRegistry) Patch(id string, deltas []graph.EdgeDelta) (PatchInfo, e
 	r.revisions++
 	r.touchLocked(rg)
 	r.evictLocked(rg)
+	r.spillLocked(rg)
 	return info, nil
+}
+
+// baseLedger opens a dirty trace's base-weight ledger from the batch that
+// dirtied it: each patched pair at its pre-patch (= trace-time) weight.
+func baseLedger(g *graph.Graph, effects []incr.Effect) map[uint64]int64 {
+	base := make(map[uint64]int64, len(effects))
+	for _, e := range effects {
+		k := incr.PairKey(e.U, e.V)
+		if _, ok := base[k]; !ok {
+			base[k] = incr.BaseWeight(g, e.U, e.V)
+		}
+	}
+	return base
 }
 
 // migrateTraceLocked re-addresses a trace's cache entries from the old to
@@ -352,54 +438,70 @@ func (r *GraphRegistry) dropEntriesLocked(digest [32]byte, tr *sourceTrace) int 
 }
 
 // Record attaches a computed source result to the graph's head revision:
-// the exact distance row (what incr classifies against) and, optionally,
-// the cache-entry parts string minted for the response (what a future
-// PATCH migrates or invalidates). Dropped silently when digest no longer
-// names the head — the computation raced a PATCH and its revision is gone;
-// its cache entry is unreachable from the new head anyway.
-func (r *GraphRegistry) Record(id string, digest [32]byte, src graph.NodeID, dist []int64, parts string) {
+// the exact distance row (what incr classifies against), its min-ID
+// witness tree (what incr.Repair restarts from; nil when not derived) and,
+// optionally, the cache-entry parts string minted for the response (what a
+// future PATCH migrates or invalidates). Admitting an exact trace
+// supersedes any stale trace for the same source. Dropped silently when
+// digest no longer names the head — the computation raced a PATCH and its
+// revision is gone; its cache entry is unreachable from the new head
+// anyway.
+func (r *GraphRegistry) Record(id string, digest [32]byte, src graph.NodeID, dist []int64, parent []graph.NodeID, parts string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	rg, ok := r.graphs[id]
 	if !ok || rg.head.digest != digest {
 		return
 	}
-	r.recordLocked(rg, src, dist, parts)
+	r.recordLocked(rg, src, dist, parent, parts)
 	r.evictLocked(rg)
 }
 
-// RecordRows batch-records per-source distance rows (an APSP run's yield)
-// plus the whole-body entry under the apspTraceKey pseudo-source.
-func (r *GraphRegistry) RecordRows(id string, digest [32]byte, rows map[graph.NodeID][]int64, bodyParts string) {
+// RecordRows batch-records per-source traces (an APSP run's yield) plus
+// the whole-body entry under the apspTraceKey pseudo-source.
+func (r *GraphRegistry) RecordRows(id string, digest [32]byte, rows map[graph.NodeID]incr.Trace, bodyParts string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	rg, ok := r.graphs[id]
 	if !ok || rg.head.digest != digest {
 		return
 	}
-	for src, dist := range rows {
-		r.recordLocked(rg, src, dist, "")
+	for src, tr := range rows {
+		r.recordLocked(rg, src, tr.Dist, tr.Parent, "")
 	}
 	if bodyParts != "" {
-		r.recordLocked(rg, apspTraceKey, nil, bodyParts)
+		r.recordLocked(rg, apspTraceKey, nil, nil, bodyParts)
 	}
 	r.evictLocked(rg)
 }
 
-func (r *GraphRegistry) recordLocked(rg *regGraph, src graph.NodeID, dist []int64, parts string) {
+func (r *GraphRegistry) recordLocked(rg *regGraph, src graph.NodeID, dist []int64, parent []graph.NodeID, parts string) {
 	tr, ok := rg.head.traces[src]
 	if !ok {
 		// Respect the byte budget at admission: traces are an accelerator,
 		// not a correctness requirement, so an over-budget graph simply
 		// stops accumulating them (queries still work, just without reuse).
-		cost := traceBytes(dist)
+		cost := traceBytes(dist, parent)
 		if r.budget > 0 && rg.bytes+cost > r.budget {
-			return
+			return // the stale trace, if any, stays usable
 		}
-		tr = &sourceTrace{dist: dist, entries: make(map[string]struct{}), bytes: cost}
+		tr = &sourceTrace{dist: dist, parent: parent, entries: make(map[string]struct{}), bytes: cost}
 		rg.head.traces[src] = tr
 		rg.bytes += cost
 		r.bytes += cost
+		// The exact trace supersedes the stale one it was repaired from.
+		if st, stale := rg.head.stale[src]; stale {
+			delete(rg.head.stale, src)
+			rg.bytes -= st.bytes
+			r.bytes -= st.bytes
+		}
+	} else if tr.parent == nil && parent != nil {
+		// A row recorded without its tree (APSP yield) gains one later.
+		add := int64(len(parent)) * 4
+		tr.parent = parent
+		tr.bytes += add
+		rg.bytes += add
+		r.bytes += add
 	}
 	if parts != "" {
 		if _, dup := tr.entries[parts]; !dup {
@@ -409,6 +511,30 @@ func (r *GraphRegistry) recordLocked(rg *regGraph, src graph.NodeID, dist []int6
 			r.bytes += int64(len(parts))
 		}
 	}
+}
+
+// Repairable returns what the repair path needs for a source at the given
+// head digest: its remembered trace and the net changes separating the
+// trace's graph from the head. An exact head trace (with a witness tree)
+// returns zero changes — repair degenerates to serving the trace in O(n),
+// no simulation. A stale trace returns its resolved ledger. ok=false
+// means no usable structure: full recomputation is the only option. The
+// returned slices are shared immutable state — callers must not write
+// through them (incr.Repair copies before writing).
+func (r *GraphRegistry) Repairable(id string, digest [32]byte, src graph.NodeID) (incr.Trace, []incr.NetChange, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rg, ok := r.graphs[id]
+	if !ok || rg.head.digest != digest {
+		return incr.Trace{}, nil, false
+	}
+	if tr, ok := rg.head.traces[src]; ok && tr.dist != nil && tr.parent != nil {
+		return incr.Trace{Dist: tr.dist, Parent: tr.parent}, nil, true
+	}
+	if st, ok := rg.head.stale[src]; ok {
+		return incr.Trace{Dist: st.dist, Parent: st.parent}, incr.NetChanges(st.base, rg.head.g), true
+	}
+	return incr.Trace{}, nil, false
 }
 
 // Rows snapshots the distance rows valid at the given revision digest
@@ -458,6 +584,7 @@ func (r *GraphRegistry) dropLocked(rg *regGraph) {
 	r.lru.Remove(rg.el)
 	delete(r.graphs, rg.id)
 	r.bytes -= rg.bytes
+	r.unspillLocked(rg.id)
 }
 
 func (r *GraphRegistry) infoLocked(rg *regGraph) GraphInfo {
@@ -469,6 +596,7 @@ func (r *GraphRegistry) infoLocked(rg *regGraph) GraphInfo {
 		M:             rg.head.g.M(),
 		Bytes:         rg.bytes,
 		TracedSources: len(rg.head.traces),
+		StaleSources:  len(rg.head.stale),
 		CreatedAtNS:   rg.createdAt.UnixNano(),
 	}
 	if !rg.patchedAt.IsZero() {
@@ -487,17 +615,25 @@ type RegistryStats struct {
 	Evictions int64 `json:"evictions"`
 	BytesUsed int64 `json:"bytes_used"`
 	Budget    int64 `json:"bytes_budget"`
+	// StaleTraces counts dirty sources currently awaiting repair across
+	// every registered graph.
+	StaleTraces int `json:"stale_traces"`
 }
 
 // Stats snapshots the registry counters.
 func (r *GraphRegistry) Stats() RegistryStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	stale := 0
+	for _, rg := range r.graphs {
+		stale += len(rg.head.stale)
+	}
 	return RegistryStats{
-		Graphs:    len(r.graphs),
-		Revisions: r.revisions,
-		Evictions: r.evictions,
-		BytesUsed: r.bytes,
-		Budget:    r.budget,
+		Graphs:      len(r.graphs),
+		Revisions:   r.revisions,
+		Evictions:   r.evictions,
+		BytesUsed:   r.bytes,
+		Budget:      r.budget,
+		StaleTraces: stale,
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dsssp/internal/graph"
+	"dsssp/internal/incr"
 )
 
 // ciGraph is the square-plus-slack-chord graph the CI smoke test also
@@ -74,7 +75,7 @@ func TestRegistryPatchMigratesAndInvalidates(t *testing.T) {
 		}); err != nil {
 			t.Fatal(err)
 		}
-		r.Record(info.ID, digest, src, dist, parts[src])
+		r.Record(info.ID, digest, src, dist, nil, parts[src])
 	}
 
 	// Reweight the chord down to 1: dirties source 0, not source 1.
@@ -133,9 +134,9 @@ func TestRegistryWholeAPSPBodySurvival(t *testing.T) {
 	g, digest, _, _ := r.Resolve(info.ID)
 
 	// Trace all four sources plus the whole-APSP body.
-	rows := make(map[graph.NodeID][]int64, g.N())
+	rows := make(map[graph.NodeID]incr.Trace, g.N())
 	for s := 0; s < g.N(); s++ {
-		rows[graph.NodeID(s)] = graph.Dijkstra(g, graph.NodeID(s))
+		rows[graph.NodeID(s)] = incr.Trace{Dist: graph.Dijkstra(g, graph.NodeID(s))}
 	}
 	const apspParts = "apsp|seed=0"
 	cache.GetOrCompute(keyFromDigest(digest, apspParts), miss())
@@ -214,11 +215,11 @@ func TestRegistryTraceAdmissionBudget(t *testing.T) {
 	// Budget barely above the bare graph: trace admission must stop rather
 	// than evict the graph out from under itself.
 	g := ciGraph()
-	r := NewGraphRegistry(graphBytes(g)+traceBytes(make([]int64, 4))+8, NewCache(1<<20), nil)
+	r := NewGraphRegistry(graphBytes(g)+traceBytes(make([]int64, 4), nil)+8, NewCache(1<<20), nil)
 	info, _ := r.Register(g)
 	_, digest, _, _ := r.Resolve(info.ID)
 	for s := 0; s < 4; s++ {
-		r.Record(info.ID, digest, graph.NodeID(s), graph.Dijkstra(g, graph.NodeID(s)), "")
+		r.Record(info.ID, digest, graph.NodeID(s), graph.Dijkstra(g, graph.NodeID(s)), nil, "")
 	}
 	got, _ := r.Get(info.ID)
 	if got.TracedSources != 1 {
@@ -242,7 +243,7 @@ func TestRegistryRecordStaleDigestDropped(t *testing.T) {
 	}
 	// A computation that raced the patch reports against the old digest:
 	// silently dropped, never attached to the new head.
-	r.Record(info.ID, oldDigest, 0, graph.Dijkstra(g, 0), "sssp|src=0")
+	r.Record(info.ID, oldDigest, 0, graph.Dijkstra(g, 0), nil, "sssp|src=0")
 	got, _ := r.Get(info.ID)
 	if got.TracedSources != 0 {
 		t.Fatalf("stale-digest record attached to the new head: %+v", got)

@@ -26,6 +26,7 @@ import (
 	"dsssp"
 	"dsssp/internal/graph"
 	"dsssp/internal/harness"
+	"dsssp/internal/incr"
 	"dsssp/internal/obs"
 )
 
@@ -41,6 +42,17 @@ type Config struct {
 	// graphs plus their per-source result traces, evicted whole-graph LRU
 	// (default 256 MiB).
 	GraphBytes int64
+	// RegistryDir, when set, persists registered graphs (and their traces)
+	// to disk on register/PATCH and reloads them on startup, so a redeploy
+	// doesn't forget every registered graph. Empty disables persistence.
+	RegistryDir string
+	// RepairMaxAffected is the affected-region repair cutoff as a fraction
+	// of n: a dirty source is repaired from its stale trace only while the
+	// affected region stays within the fraction; past it the repair
+	// abandons ship and the source recomputes from scratch (which also
+	// re-mints a cacheable canonical body). 0 defaults to 0.5; negative
+	// disables repair entirely.
+	RepairMaxAffected float64
 	// Workers bounds concurrently executing queries (default NumCPU).
 	Workers int
 	// MaxIntraWorkers caps a query's requested intra-round simulation
@@ -83,6 +95,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.GraphBytes == 0 {
 		c.GraphBytes = 256 << 20
+	}
+	if c.RepairMaxAffected == 0 {
+		c.RepairMaxAffected = 0.5
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.NumCPU()
@@ -151,6 +166,15 @@ func New(cfg Config) (*Server, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cache := NewCache(cfg.CacheBytes)
 	registry := NewGraphRegistry(cfg.GraphBytes, cache, cfg.now)
+	if cfg.RegistryDir != "" {
+		restored, err := registry.EnablePersistence(cfg.RegistryDir)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("registry persistence: %w", err)
+		}
+		cfg.Logger.Info("registry persistence enabled",
+			"dir", cfg.RegistryDir, "graphs_restored", restored)
+	}
 	metrics := newServerMetrics(&cfg, cache, store, registry)
 	registry.bindMetrics(metrics)
 	s := &Server{
@@ -200,12 +224,17 @@ func (s *Server) Handler() http.Handler {
 // debug listener too; tests scrape it directly).
 func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
 
-// Close cancels every running job and waits for them to finish. Call after
-// the HTTP listener has drained (http.Server.Shutdown) so in-flight
-// requests see consistent state.
+// Close cancels every running job, waits for them to finish, and flushes
+// the registry to its persistence directory (traces accumulated by queries
+// since the last register/PATCH spill included). Call after the HTTP
+// listener has drained (http.Server.Shutdown) so in-flight requests see
+// consistent state.
 func (s *Server) Close() {
 	s.cancelAll()
 	s.jobsWG.Wait()
+	if err := s.registry.Flush(); err != nil {
+		s.logger.Error("registry flush failed", "err", err)
+	}
 }
 
 // Store exposes the history store (the daemon reports its location).
@@ -233,7 +262,33 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	parts := queryKeyParts("sssp", req.Options, fmt.Sprintf("src=%d", req.Source))
+	repaired := false
 	hit, ok := s.finishQuery(w, r, keyFromDigest(digest, parts), func() ([]byte, bool, error) {
+		// A cache miss on a registered graph first tries affected-region
+		// repair of the source's remembered trace — skipped when the
+		// request wants the per-phase breakdown, which only a real
+		// simulation can produce. Repaired bodies are deliberately NOT
+		// cached: they carry the incr block and no simulation metrics, so
+		// they are not the key's canonical bytes; a later full recompute
+		// (or the next cache hit on an already-canonical entry) re-mints
+		// those.
+		if !req.Options.RecordPhases {
+			if rr := s.tryRepair(ref, digest, g, graph.NodeID(req.Source)); rr != nil {
+				repaired = true
+				w.Header().Set("X-Dsssp-Incr", "repaired")
+				resp := SSSPResponse{
+					N: g.N(), M: g.M(),
+					Dist:        rr.Dist,
+					Unreachable: countUnreachable(rr.Dist),
+					Incr:        queryIncr(rr, g.N()),
+				}
+				b, err := json.Marshal(resp)
+				return b, false, err
+			}
+		}
+		if ref != nil {
+			w.Header().Set("X-Dsssp-Incr", "recomputed")
+		}
 		res, err := dsssp.SSSP(g, graph.NodeID(req.Source), opts)
 		if err != nil {
 			return nil, false, err
@@ -242,9 +297,11 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 		s.metrics.observePhases(phases)
 		if ref != nil {
 			// The distance row is what a future PATCH classifies this
-			// source against; the parts string is how it re-addresses or
+			// source against; the witness tree is what a repair restarts
+			// from; the parts string is how a PATCH re-addresses or
 			// invalidates this response's cache entry.
-			s.registry.Record(ref.id, digest, graph.NodeID(req.Source), res.Dist, parts)
+			s.registry.Record(ref.id, digest, graph.NodeID(req.Source), res.Dist,
+				graph.WitnessParents(g, graph.NodeID(req.Source), res.Dist), parts)
 		}
 		resp := SSSPResponse{
 			N: g.N(), M: g.M(),
@@ -260,16 +317,60 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 		return b, true, err
 	})
 	if ok && ref != nil {
-		s.countReuse(hit, 1)
+		s.countReuse(hit, repaired, 1)
+	}
+}
+
+// tryRepair attempts affected-region repair for one source of a registered
+// graph: resolve the remembered trace and its net changes, bound the
+// affected region by the configured fraction of n, and run incr.Repair.
+// nil means the caller must fall back to the full computation (no usable
+// trace, repair disabled, or the region outgrew the cutoff). On success
+// the repaired trace is promoted to the head revision, so the next PATCH
+// classifies it and the next query serves it in O(n).
+func (s *Server) tryRepair(ref *graphRef, digest [32]byte, g *graph.Graph, src graph.NodeID) *incr.RepairResult {
+	if ref == nil || s.cfg.RepairMaxAffected < 0 {
+		return nil
+	}
+	tr, changes, ok := s.registry.Repairable(ref.id, digest, src)
+	if !ok {
+		return nil
+	}
+	limit := 0
+	if s.cfg.RepairMaxAffected > 0 {
+		limit = int(s.cfg.RepairMaxAffected * float64(g.N()))
+		if limit < 1 {
+			limit = 1
+		}
+	}
+	start := time.Now()
+	rr, ok := incr.Repair(g, src, tr, changes, limit)
+	s.metrics.repairSeconds.Observe(time.Since(start).Seconds())
+	if !ok {
+		s.metrics.incrRepairFallbacks.Inc()
+		return nil
+	}
+	s.metrics.incrSourcesRepaired.Inc()
+	s.metrics.repairAffectedFraction.Observe(float64(rr.Affected) / float64(g.N()))
+	s.registry.Record(ref.id, digest, src, rr.Dist, rr.Parent, "")
+	return rr
+}
+
+func queryIncr(rr *incr.RepairResult, n int) *QueryIncrJSON {
+	return &QueryIncrJSON{
+		Served:           "repaired",
+		AffectedVertices: rr.Affected,
+		AffectedFraction: float64(rr.Affected) / float64(n),
 	}
 }
 
 // countReuse feeds the registered-graph reuse counters: a cache hit is a
-// source served without recomputation, a miss is a recompute.
-func (s *Server) countReuse(hit bool, sources int64) {
+// source served without recomputation, a repaired miss was counted by
+// tryRepair already, and everything else is a recompute.
+func (s *Server) countReuse(hit, repaired bool, sources int64) {
 	if hit {
 		s.metrics.incrSourcesReused.Add(sources)
-	} else {
+	} else if !repaired {
 		s.metrics.incrSourcesRecomputed.Add(sources)
 	}
 }
@@ -301,7 +402,29 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	parts := queryKeyParts("path", req.Options, fmt.Sprintf("src=%d|dst=%d", req.Source, req.Target))
+	repaired := false
 	hit, ok := s.finishQuery(w, r, keyFromDigest(digest, parts), func() ([]byte, bool, error) {
+		// A repaired trace answers a path query directly: the witness tree
+		// IS the shortest-path tree, so the path is a parent walk from the
+		// target — no simulation, no tree extraction.
+		if !req.Options.RecordPhases {
+			if rr := s.tryRepair(ref, digest, g, graph.NodeID(req.Source)); rr != nil {
+				repaired = true
+				w.Header().Set("X-Dsssp-Incr", "repaired")
+				resp := PathResponse{Dist: rr.Dist[req.Target], Path: []int64{}, Incr: queryIncr(rr, g.N())}
+				if resp.Dist != graph.Inf {
+					nodes := walkParents(rr.Parent, graph.NodeID(req.Source), graph.NodeID(req.Target))
+					for _, v := range nodes {
+						resp.Path = append(resp.Path, int64(v))
+					}
+				}
+				b, err := json.Marshal(resp)
+				return b, false, err
+			}
+		}
+		if ref != nil {
+			w.Header().Set("X-Dsssp-Incr", "recomputed")
+		}
 		tr, err := dsssp.SSSPTree(g, graph.NodeID(req.Source), opts)
 		if err != nil {
 			return nil, false, err
@@ -309,8 +432,9 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 		s.metrics.observePhases(harness.PhasesFromSpans(tr.Metrics.Spans))
 		if ref != nil {
 			// A path query is an SSSP from its source under the covers, so
-			// its trace classifies (and migrates/invalidates) like one.
-			s.registry.Record(ref.id, digest, graph.NodeID(req.Source), tr.Dist, parts)
+			// its trace classifies (and migrates/invalidates) like one —
+			// and it already carries the witness tree repair needs.
+			s.registry.Record(ref.id, digest, graph.NodeID(req.Source), tr.Dist, tr.Parent, parts)
 		}
 		resp := PathResponse{Dist: tr.Dist[req.Target], Path: []int64{}, Metrics: metricsJSON(tr.Metrics)}
 		if resp.Dist != graph.Inf {
@@ -328,8 +452,20 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 		return b, true, err
 	})
 	if ok && ref != nil {
-		s.countReuse(hit, 1)
+		s.countReuse(hit, repaired, 1)
 	}
+}
+
+// walkParents reconstructs target → … → source from a witness parent tree
+// — the exact orientation dsssp.TreeResult.PathTo returns, so a repaired
+// path response is byte-identical to a computed one.
+func walkParents(parent []graph.NodeID, source, target graph.NodeID) []graph.NodeID {
+	path := []graph.NodeID{target}
+	for v := target; v != source && parent[v] >= 0; {
+		v = parent[v]
+		path = append(path, v)
+	}
+	return path
 }
 
 func (s *Server) handleAPSP(w http.ResponseWriter, r *http.Request) {
@@ -346,11 +482,13 @@ func (s *Server) handleAPSP(w http.ResponseWriter, r *http.Request) {
 	var rowsReused, rowsRecomputed int64
 	hit, ok := s.finishQuery(w, r, keyFromDigest(digest, parts), func() ([]byte, bool, error) {
 		// For a registered graph, fan out only to sources without a traced
-		// row at this revision. Per-source SSSP instances are independent,
-		// so a reused row is byte-identical to what a re-run would produce;
-		// only the Composition (which describes the instances actually run
-		// this time) and the Incr split distinguish a partially-reused
-		// response from a from-scratch one.
+		// row at this revision — and before fanning out, try affected-region
+		// repair on each untraced source that still has a stale trace.
+		// Per-source SSSP instances are independent, so a reused or repaired
+		// row is byte-identical to what a re-run would produce; only the
+		// Composition (which describes the instances actually run this time)
+		// and the Incr split distinguish a partially-reused response from a
+		// from-scratch one.
 		var traced map[graph.NodeID][]int64
 		if ref != nil {
 			traced = s.registry.Rows(ref.id, digest)
@@ -364,7 +502,20 @@ func (s *Server) handleAPSP(w http.ResponseWriter, r *http.Request) {
 				missing = append(missing, graph.NodeID(v))
 			}
 		}
-		reused := g.N() - len(missing)
+		repairedRows := 0
+		if ref != nil && len(missing) > 0 {
+			still := missing[:0]
+			for _, src := range missing {
+				if rr := s.tryRepair(ref, digest, g, src); rr != nil {
+					dist[src] = rr.Dist
+					repairedRows++
+				} else {
+					still = append(still, src)
+				}
+			}
+			missing = still
+		}
+		reused := g.N() - len(missing) - repairedRows
 		resp := APSPResponse{N: g.N(), M: g.M(), Dist: dist}
 		if len(missing) > 0 {
 			res, err := dsssp.APSPFrom(g, missing, opts, req.Seed)
@@ -387,24 +538,31 @@ func (s *Server) handleAPSP(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if ref != nil {
-			newRows := make(map[graph.NodeID][]int64, len(missing))
+			// Recomputed rows are recorded with their witness trees so a
+			// later PATCH demotes them to repairable stale traces instead of
+			// forgetting them. (Repaired rows were promoted by tryRepair.)
+			newRows := make(map[graph.NodeID]incr.Trace, len(missing))
 			for _, src := range missing {
-				newRows[src] = dist[src]
+				newRows[src] = incr.Trace{Dist: dist[src], Parent: graph.WitnessParents(g, src, dist[src])}
 			}
 			// The whole-body entry is recorded only for a from-scratch run:
-			// a partially-reused body is history-dependent (its Composition
-			// and Incr depend on what happened to be traced), so it must
-			// not become this key's cached bytes.
+			// a partially-reused or repaired body is history-dependent (its
+			// Composition and Incr depend on what happened to be traced), so
+			// it must not become this key's cached bytes.
 			bodyParts := parts
-			if reused > 0 {
+			if reused > 0 || repairedRows > 0 {
 				bodyParts = ""
 			}
 			s.registry.RecordRows(ref.id, digest, newRows, bodyParts)
 		}
-		if reused > 0 {
-			resp.Incr = &IncrJSON{SourcesReused: reused, SourcesRecomputed: len(missing)}
+		if reused > 0 || repairedRows > 0 {
+			resp.Incr = &IncrJSON{SourcesReused: reused, SourcesRepaired: repairedRows, SourcesRecomputed: len(missing)}
 			rowsReused, rowsRecomputed = int64(reused), int64(len(missing))
-			w.Header().Set("X-Dsssp-Incr", fmt.Sprintf("reused=%d recomputed=%d", reused, len(missing)))
+			if repairedRows > 0 {
+				w.Header().Set("X-Dsssp-Incr", fmt.Sprintf("reused=%d repaired=%d recomputed=%d", reused, repairedRows, len(missing)))
+			} else {
+				w.Header().Set("X-Dsssp-Incr", fmt.Sprintf("reused=%d recomputed=%d", reused, len(missing)))
+			}
 			b, err := json.Marshal(resp)
 			return b, false, err
 		}
@@ -414,7 +572,7 @@ func (s *Server) handleAPSP(w http.ResponseWriter, r *http.Request) {
 	if ok && ref != nil {
 		// A body-cache hit means every source was served without recompute;
 		// a miss splits per the incremental assembly above (all-recompute
-		// when nothing was traced).
+		// when nothing was traced; repaired rows were counted by tryRepair).
 		if hit {
 			s.metrics.incrSourcesReused.Add(int64(g.N()))
 		} else {
@@ -583,6 +741,7 @@ func (s *Server) handleGraphPatch(w http.ResponseWriter, r *http.Request) {
 		"graph_id", id, "revision", pi.Revision,
 		"deltas", pi.DeltasApplied, "effects", pi.Effects,
 		"sources_kept", pi.SourcesKept, "sources_dropped", pi.SourcesDropped,
+		"sources_repairable", pi.SourcesRepairable,
 		"entries_migrated", pi.EntriesMigrated, "entries_invalidated", pi.EntriesInvalidated)
 	writeJSON(w, http.StatusOK, pi)
 }
@@ -666,10 +825,22 @@ type StatsResponse struct {
 	UptimeNS       int64            `json:"uptime_ns"`
 	Cache          CacheStats       `json:"cache"`
 	Registry       RegistryStats    `json:"registry"`
+	Incr           IncrStats        `json:"incr"`
 	Pool           PoolStats        `json:"pool"`
 	Jobs           map[JobState]int `json:"jobs"`
 	Store          StoreStats       `json:"store"`
 	HistoryReports int              `json:"history_reports"`
+}
+
+// IncrStats is the registered-graph serving split since process start:
+// per-source results served from cache/traces, rebuilt by affected-region
+// repair, or recomputed from scratch — plus repairs that bailed to a full
+// recompute.
+type IncrStats struct {
+	SourcesReused     int64 `json:"sources_reused"`
+	SourcesRepaired   int64 `json:"sources_repaired"`
+	SourcesRecomputed int64 `json:"sources_recomputed"`
+	RepairFallbacks   int64 `json:"repair_fallbacks"`
 }
 
 // PoolStats is the query worker pool's instantaneous state.
@@ -693,6 +864,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeNS: s.now().Sub(s.started).Nanoseconds(),
 		Cache:    s.cache.Stats(),
 		Registry: s.registry.Stats(),
+		Incr: IncrStats{
+			SourcesReused:     s.metrics.incrSourcesReused.Value(),
+			SourcesRepaired:   s.metrics.incrSourcesRepaired.Value(),
+			SourcesRecomputed: s.metrics.incrSourcesRecomputed.Value(),
+			RepairFallbacks:   s.metrics.incrRepairFallbacks.Value(),
+		},
 		Pool: PoolStats{
 			Workers:  s.cfg.Workers,
 			InFlight: int(s.metrics.poolBusy.Value()),
