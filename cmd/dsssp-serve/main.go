@@ -27,11 +27,14 @@
 //	GET    /healthz        liveness
 //
 // With -debug-addr set, a second listener (keep it private) serves
-// net/http/pprof under /debug/pprof/ plus a second /metrics mount.
+// net/http/pprof under /debug/pprof/, a second /metrics mount, and the
+// trace flight recorder under /debug/traces (list with filters, single
+// trace by ID, JSONL export).
 //
-// Every request gets an X-Dsssp-Request-Id (generated unless supplied),
-// echoed in error JSON bodies and in the per-request completion log line
-// (structured slog JSON on stderr).
+// Every request gets an X-Dsssp-Request-Id (the request's trace ID unless
+// the client supplied its own), echoed in error JSON bodies and in the
+// per-request completion log line (structured slog JSON on stderr), and a
+// W3C traceparent is echoed/minted so client traces link to server spans.
 //
 // The process shuts down cleanly on SIGINT/SIGTERM: the listener drains,
 // running sweep jobs are cancelled (partial sweeps are not stored), and
@@ -70,7 +73,10 @@ func main() {
 		sweeps      = flag.Int("max-sweeps", 1, "sweep jobs allowed to run concurrently")
 		rev         = flag.String("rev", "", "git revision label for stored reports (default: git rev-parse --short HEAD, else \"unknown\")")
 		maxN        = flag.Int("max-n", 4096, "largest accepted graph size")
-		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this private address (empty = disabled)")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof, /metrics, and /debug/traces on this private address (empty = disabled)")
+		traceSample = flag.Float64("trace-sample", 1.0, "fraction of requests recorded into the trace flight recorder (1 = all, 0 = none; unsampled requests pay no tracing cost)")
+		traceRecent = flag.Int("trace-recent", 256, "flight recorder: recent traces kept")
+		traceKept   = flag.Int("trace-retained", 64, "flight recorder: slow/errored traces kept beyond the recent window")
 		slowQuery   = flag.Duration("slow-query", time.Second, "log requests slower than this at Warn")
 		logLevel    = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
 		load        = flag.String("load", "", "run the service-load workload against this base URL instead of serving")
@@ -125,6 +131,9 @@ func main() {
 		MaxN:                *maxN,
 		Logger:              logger,
 		SlowQueryThreshold:  *slowQuery,
+		TraceSampleRate:     resolveSampleRate(*traceSample),
+		TraceRecent:         *traceRecent,
+		TraceRetained:       *traceKept,
 	})
 	if err != nil {
 		die(err)
@@ -141,6 +150,8 @@ func main() {
 		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		dmux.Handle("/metrics", srv.Metrics().Handler())
+		dmux.Handle("/debug/traces", srv.TraceHandler())
+		dmux.Handle("/debug/traces/", srv.TraceHandler())
 		go func() {
 			logger.Info("debug listener up", "addr", *debugAddr)
 			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
@@ -209,6 +220,15 @@ func runLoadDynamic(ctx context.Context, baseURL string, opt service.DynamicLoad
 	if rep.Errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// resolveSampleRate maps the flag's "0 = none" convention onto the
+// Config's "0 = default, negative = none" one.
+func resolveSampleRate(rate float64) float64 {
+	if rate <= 0 {
+		return -1
+	}
+	return rate
 }
 
 // gitRev best-effort resolves the working tree's short revision for

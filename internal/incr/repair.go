@@ -2,6 +2,7 @@ package incr
 
 import (
 	"container/heap"
+	"time"
 
 	"dsssp/internal/graph"
 )
@@ -55,7 +56,17 @@ type RepairResult struct {
 	Affected int
 	// Orphaned counts the subset carved out of the old witness tree.
 	Orphaned int
+	// PhaseNS is the wall time spent in each repair phase, indexed by
+	// RepairPhaseNames — the per-query breakdown the serving layer turns
+	// into repair-phase spans and the dsssp_repair_phase_seconds
+	// histogram. All zero for the empty-changes fast path, which runs no
+	// phase at all.
+	PhaseNS [4]int64
 }
+
+// RepairPhaseNames names the indices of RepairResult.PhaseNS: the four
+// phases of the repair pipeline, in execution order.
+var RepairPhaseNames = [4]string{"carve", "seed", "settle", "witness"}
 
 // Repair rebuilds the exact distance vector and min-ID witness tree of
 // source on g — the patched graph — from a trace that was exact before
@@ -79,6 +90,17 @@ func Repair(g *graph.Graph, source graph.NodeID, tr Trace, changes []NetChange, 
 	parent := append([]graph.NodeID(nil), tr.Parent...)
 	if len(changes) == 0 {
 		return &RepairResult{Dist: dist, Parent: parent}, true
+	}
+
+	// Per-phase wall clocks for the repair breakdown (RepairResult.PhaseNS);
+	// abandoned repairs (ok=false) report nothing — the caller falls back to
+	// a full recomputation, which has its own engine-phase accounting.
+	var phaseNS [4]int64
+	phaseStart := time.Now()
+	markPhase := func(i int) {
+		now := time.Now()
+		phaseNS[i] = now.Sub(phaseStart).Nanoseconds()
+		phaseStart = now
 	}
 
 	// Phase 1 — carve: a witness-tree edge whose weight rose (or which was
@@ -145,6 +167,8 @@ func Repair(g *graph.Graph, source graph.NodeID, tr Trace, changes []NetChange, 
 		}
 	}
 
+	markPhase(0)
+
 	// Phase 2 — seed the heap. Orphans take their best non-orphan boundary
 	// offer; net decreases relax both directions at the current labels.
 	// Every later improvement of a seed's donor re-relaxes the edge when
@@ -192,6 +216,7 @@ func Repair(g *graph.Graph, source graph.NodeID, tr Trace, changes []NetChange, 
 	if overBudget() {
 		return nil, false
 	}
+	markPhase(1)
 
 	// Phase 3 — Dijkstra over the affected frontier, lazy deletion,
 	// saturating sums: identical discipline to the reference algorithm, so
@@ -208,6 +233,8 @@ func Repair(g *graph.Graph, source graph.NodeID, tr Trace, changes []NetChange, 
 			return nil, false
 		}
 	}
+
+	markPhase(2)
 
 	// Phase 4 — parents. The witness predicate at v (∃ neighbor u:
 	// dist[u]+w(u,v) == dist[v], min ID wins) can flip only where an input
@@ -241,7 +268,8 @@ func Repair(g *graph.Graph, source graph.NodeID, tr Trace, changes []NetChange, 
 		}
 		parent[v] = graph.WitnessParent(g, graph.NodeID(v), dist)
 	}
-	return &RepairResult{Dist: dist, Parent: parent, Affected: affected, Orphaned: len(orphans)}, true
+	markPhase(3)
+	return &RepairResult{Dist: dist, Parent: parent, Affected: affected, Orphaned: len(orphans), PhaseNS: phaseNS}, true
 }
 
 // increased reports whether a net change raised the pair's effective

@@ -230,10 +230,19 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 // matching _count/_sum increments — each individual series stays
 // monotonic, which is what rate() needs.
 type Histogram struct {
-	bounds  []float64
-	counts  []atomic.Int64 // len(bounds)+1; last is +Inf
-	count   atomic.Int64
-	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	bounds    []float64
+	counts    []atomic.Int64 // len(bounds)+1; last is +Inf
+	count     atomic.Int64
+	sumBits   atomic.Uint64              // float64 bits, CAS-accumulated
+	exemplars []atomic.Pointer[exemplar] // len(bounds)+1, latest per bucket
+}
+
+// exemplar pins one observed value to the trace that produced it, so a
+// histogram bucket in a dashboard can deep-link to a concrete request in
+// the flight recorder. Last write per bucket wins.
+type exemplar struct {
+	value   float64
+	traceID string
 }
 
 // Observe records one value.
@@ -250,6 +259,18 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveExemplar records one value and, when traceID is non-empty,
+// stores it as the containing bucket's exemplar (rendered in the
+// OpenMetrics "# {trace_id=…} value" form).
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&exemplar{value: v, traceID: traceID})
+}
+
 // Count reads the total number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
@@ -257,7 +278,11 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
 func newHistogram(bounds []float64) *Histogram {
-	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	return &Histogram{
+		bounds:    bounds,
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(bounds)+1),
+	}
 }
 
 // checkBuckets validates histogram bounds: non-empty, strictly ascending,

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"math"
 	"strconv"
@@ -241,5 +242,45 @@ func TestConcurrentHammer(t *testing.T) {
 	}
 	if hcount != workers*perW {
 		t.Fatalf("histogram count = %v, want %d", hcount, workers*perW)
+	}
+}
+
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+
+	// Plain Observe leaves rendering exemplar-free.
+	h.Observe(0.05)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "trace_id") {
+		t.Fatalf("exemplar rendered without ObserveExemplar:\n%s", buf.String())
+	}
+
+	h.ObserveExemplar(0.05, "0af7651916cd43dd8448eb211c80319c")
+	h.ObserveExemplar(0.5, "") // empty trace ID: counted, no exemplar stored
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := `lat_seconds_bucket{le="0.1"} 2 # {trace_id="0af7651916cd43dd8448eb211c80319c"} 0.05`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exemplar missing from containing bucket:\nwant line %q\ngot:\n%s", want, out)
+	}
+	if !strings.Contains(out, "lat_seconds_bucket{le=\"1\"} 3\n") {
+		t.Fatalf("empty-trace-ID observation leaked an exemplar:\n%s", out)
+	}
+	// Exemplars replace per bucket: a newer slow request wins its bucket.
+	h.ObserveExemplar(0.07, "b7ad6b7169203331b7ad6b7169203331")
+	buf.Reset()
+	r.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), `# {trace_id="b7ad6b7169203331b7ad6b7169203331"} 0.07`) {
+		t.Fatalf("exemplar not replaced:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "0af7651916cd43dd8448eb211c80319c") {
+		t.Fatalf("stale exemplar survived in the same bucket:\n%s", buf.String())
 	}
 }

@@ -56,10 +56,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				cum := int64(0)
 				for i, b := range f.buckets {
 					cum += s.counts[i].Load()
-					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, labelString(f.labelKeys, values, "le", formatValue(b)), cum)
+					fmt.Fprintf(bw, "%s_bucket%s %d%s\n", f.name, labelString(f.labelKeys, values, "le", formatValue(b)), cum, exemplarSuffix(s, i))
 				}
 				cum += s.counts[len(f.buckets)].Load()
-				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, labelString(f.labelKeys, values, "le", "+Inf"), cum)
+				fmt.Fprintf(bw, "%s_bucket%s %d%s\n", f.name, labelString(f.labelKeys, values, "le", "+Inf"), cum, exemplarSuffix(s, len(f.buckets)))
 				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, labelString(f.labelKeys, values, "", ""), formatValue(s.Sum()))
 				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, labelString(f.labelKeys, values, "", ""), s.Count())
 			}
@@ -104,6 +104,18 @@ func labelString(keys, values []string, extraKey, extraValue string) string {
 	}
 	b.WriteByte('}')
 	return b.String()
+}
+
+// exemplarSuffix renders bucket i's exemplar in the OpenMetrics form
+// (" # {trace_id=\"…\"} value"), or "" when the bucket has none — buckets
+// without exemplars render exactly as before, so the suffix is purely
+// additive for existing consumers.
+func exemplarSuffix(h *Histogram, i int) string {
+	ex := h.exemplars[i].Load()
+	if ex == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s", ex.traceID, formatValue(ex.value))
 }
 
 // escapeHelp keeps HELP lines single-line.

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// FlightRecorder keeps a bounded window of finished traces in memory:
+// a "recent" ring holding the newest N traces regardless of outcome, and
+// a "retained" ring that only admits interesting traces — errored or
+// slower than the slow-query threshold — so a flood of fast cache hits
+// cannot evict the one failed request an operator needs to see. Lookup
+// checks both rings; total memory is bounded by the two capacities times
+// the per-trace span cap.
+type FlightRecorder struct {
+	slowThreshold time.Duration
+
+	mu       sync.Mutex
+	recent   ring
+	retained ring
+}
+
+// ring is a fixed-capacity FIFO of traces, newest at the logical end.
+type ring struct {
+	buf   []*Trace
+	head  int // index of the oldest element
+	count int
+}
+
+func newRing(capacity int) ring { return ring{buf: make([]*Trace, capacity)} }
+
+func (r *ring) push(t *Trace) {
+	if len(r.buf) == 0 {
+		return
+	}
+	if r.count < len(r.buf) {
+		r.buf[(r.head+r.count)%len(r.buf)] = t
+		r.count++
+		return
+	}
+	r.buf[r.head] = t
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+// at returns the i-th newest trace (0 = newest).
+func (r *ring) at(i int) *Trace {
+	return r.buf[(r.head+r.count-1-i)%len(r.buf)]
+}
+
+func newFlightRecorder(recent, retained int, slow time.Duration) *FlightRecorder {
+	return &FlightRecorder{
+		slowThreshold: slow,
+		recent:        newRing(recent),
+		retained:      newRing(retained),
+	}
+}
+
+// interesting is the retention-bias predicate: errors and slow requests
+// survive the recent ring's churn.
+func (f *FlightRecorder) interesting(t *Trace) bool {
+	return t.Error || t.Status >= 400 || time.Duration(t.DurationNano) >= f.slowThreshold
+}
+
+func (f *FlightRecorder) add(t *Trace) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.recent.push(t)
+	if f.interesting(t) {
+		f.retained.push(t)
+	}
+}
+
+// Filter selects traces from the recorder. The zero value matches
+// everything.
+type Filter struct {
+	// MinDuration keeps only traces at least this slow.
+	MinDuration time.Duration
+	// Status keeps only traces with this exact HTTP status (0 = any).
+	Status int
+	// Errors keeps only traces marked errored.
+	Errors bool
+	// Endpoint keeps only traces with this endpoint label ("" = any).
+	Endpoint string
+	// Limit caps the result count (0 = a server-chosen default of 100).
+	Limit int
+}
+
+func (fl Filter) match(t *Trace) bool {
+	if fl.MinDuration > 0 && time.Duration(t.DurationNano) < fl.MinDuration {
+		return false
+	}
+	if fl.Status != 0 && t.Status != fl.Status {
+		return false
+	}
+	if fl.Errors && !t.Error {
+		return false
+	}
+	if fl.Endpoint != "" && t.Endpoint != fl.Endpoint {
+		return false
+	}
+	return true
+}
+
+// Traces returns matching traces newest-first. Retained-only traces
+// (already evicted from the recent ring) are appended after the recent
+// window, still newest-first within each group; duplicates are removed.
+func (f *FlightRecorder) Traces(fl Filter) []*Trace {
+	limit := fl.Limit
+	if limit <= 0 {
+		limit = 100
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*Trace, 0, min(limit, f.recent.count+f.retained.count))
+	seen := make(map[string]bool, f.recent.count)
+	for i := 0; i < f.recent.count && len(out) < limit; i++ {
+		t := f.recent.at(i)
+		if fl.match(t) {
+			out = append(out, t)
+			seen[t.TraceID] = true
+		}
+	}
+	for i := 0; i < f.retained.count && len(out) < limit; i++ {
+		t := f.retained.at(i)
+		if !seen[t.TraceID] && fl.match(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Get returns the trace with the given 32-hex ID, or nil. Both rings are
+// searched, so an errored trace stays addressable after the recent ring
+// has churned past it.
+func (f *FlightRecorder) Get(id string) *Trace {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := 0; i < f.recent.count; i++ {
+		if t := f.recent.at(i); t.TraceID == id {
+			return t
+		}
+	}
+	for i := 0; i < f.retained.count; i++ {
+		if t := f.retained.at(i); t.TraceID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// WriteJSONL streams matching traces to w, one JSON trace per line,
+// newest first — the export format the CI smoke job archives.
+func (f *FlightRecorder) WriteJSONL(w io.Writer, fl Filter) error {
+	enc := json.NewEncoder(w) // Encode appends the newline
+	for _, t := range f.Traces(fl) {
+		if err := enc.Encode(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,570 @@
+// Package trace is a dependency-free request-scoped tracing kernel for
+// the serving tier: W3C traceparent propagation, explicit parent-child
+// spans with attributes and monotonic timing, and a bounded in-memory
+// flight recorder with slow/error retention bias (recorder.go).
+//
+// The paper's contribution is an accounting argument — every round,
+// awake-round, and message is attributed to exactly one algorithm phase —
+// and this package extends that attribution discipline up the stack: one
+// causally-linked span tree per request, from the HTTP edge through queue
+// wait, cache lookup, registry resolution, and repair down to the
+// simulator's per-phase round intervals, so a single slow query can be
+// explained the way a sweep report explains an aggregate.
+//
+// Sampling is the cost model: an unsampled request gets a nil *Span, and
+// every Span method is nil-safe and allocation-free on nil — pinned by
+// TestUnsampledZeroAlloc — so tracing disabled by sampling adds nothing
+// to the cached-hit fast path.
+package trace
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is the W3C 16-byte trace identifier.
+type TraceID [16]byte
+
+// SpanID is the W3C 8-byte span identifier.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the all-zero (invalid) trace ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the all-zero (invalid) span ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 32 lowercase hex characters.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String renders the ID as 16 lowercase hex characters.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// idState drives ID minting: a splitmix64 sequence seeded once from
+// crypto/rand. IDs need uniqueness, not unpredictability, and the atomic
+// step keeps minting allocation-free — crypto/rand on every request would
+// heap-allocate through the io.Reader interface.
+var idState atomic.Uint64
+
+func init() {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		idState.Store(binary.LittleEndian.Uint64(b[:]))
+	} else {
+		idState.Store(uint64(time.Now().UnixNano()))
+	}
+}
+
+// rand64 returns the next splitmix64 output; safe for concurrent use and
+// never allocates.
+func rand64() uint64 {
+	x := idState.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// MintTraceID returns a fresh non-zero trace ID.
+func MintTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		binary.BigEndian.PutUint64(t[:8], rand64())
+		binary.BigEndian.PutUint64(t[8:], rand64())
+	}
+	return t
+}
+
+// MintSpanID returns a fresh non-zero span ID.
+func MintSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		binary.BigEndian.PutUint64(s[:], rand64())
+	}
+	return s
+}
+
+// SpanContext is the propagated trace position: the wire contents of a
+// W3C traceparent header.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// Valid reports whether both IDs are non-zero (the W3C validity rule).
+func (c SpanContext) Valid() bool { return !c.TraceID.IsZero() && !c.SpanID.IsZero() }
+
+// MintContext returns a fresh sampled root context (a new trace).
+func MintContext() SpanContext {
+	return SpanContext{TraceID: MintTraceID(), SpanID: MintSpanID(), Sampled: true}
+}
+
+// TraceparentHeader is the W3C propagation header name.
+const TraceparentHeader = "traceparent"
+
+// ParseTraceparent parses a W3C traceparent header
+// ("00-<32 hex>-<16 hex>-<2 hex>"). Malformed or all-zero inputs return
+// ok=false — the caller mints a fresh trace instead of propagating junk.
+// Per spec, an unknown version is accepted as long as the version-00
+// prefix parses; hex must be lowercase.
+func ParseTraceparent(h string) (SpanContext, bool) {
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return SpanContext{}, false
+	}
+	if len(h) > 55 && (h[0] == '0' && h[1] == '0' || h[55] != '-') {
+		return SpanContext{}, false // version 00 is exactly 55 chars; later versions may append "-..."
+	}
+	var c SpanContext
+	if !hexDecodeLower(c.TraceID[:], h[3:35]) || !hexDecodeLower(c.SpanID[:], h[36:52]) {
+		return SpanContext{}, false
+	}
+	var flags [1]byte
+	if !hexDecodeLower(flags[:], h[53:55]) {
+		return SpanContext{}, false
+	}
+	if h[0] == 'f' && h[1] == 'f' { // version 0xff is forbidden
+		return SpanContext{}, false
+	}
+	if !isHexLower(h[0]) || !isHexLower(h[1]) {
+		return SpanContext{}, false
+	}
+	if !c.Valid() {
+		return SpanContext{}, false
+	}
+	c.Sampled = flags[0]&0x01 != 0
+	return c, true
+}
+
+// Traceparent renders the context as a version-00 traceparent value.
+func (c SpanContext) Traceparent() string {
+	b := make([]byte, 0, 55)
+	b = append(b, "00-"...)
+	b = hex.AppendEncode(b, c.TraceID[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, c.SpanID[:])
+	if c.Sampled {
+		b = append(b, "-01"...)
+	} else {
+		b = append(b, "-00"...)
+	}
+	return string(b)
+}
+
+func isHexLower(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f'
+}
+
+// hexDecodeLower decodes src (lowercase hex only — the W3C grammar) into
+// dst, returning false on any invalid byte.
+func hexDecodeLower(dst []byte, src string) bool {
+	for i := 0; i < len(dst); i++ {
+		hi, lo := src[2*i], src[2*i+1]
+		if !isHexLower(hi) || !isHexLower(lo) {
+			return false
+		}
+		dst[i] = unhex(hi)<<4 | unhex(lo)
+	}
+	return true
+}
+
+func unhex(c byte) byte {
+	if c <= '9' {
+		return c - '0'
+	}
+	return c - 'a' + 10
+}
+
+// Attr is one span attribute. Values must be JSON-marshalable; the
+// helpers below cover the kinds the serving layer uses.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String returns a string attribute.
+func String(k, v string) Attr { return Attr{k, v} }
+
+// Int64 returns an integer attribute.
+func Int64(k string, v int64) Attr { return Attr{k, v} }
+
+// Int returns an integer attribute.
+func Int(k string, v int) Attr { return Attr{k, int64(v)} }
+
+// Float64 returns a float attribute.
+func Float64(k string, v float64) Attr { return Attr{k, v} }
+
+// Config tunes a Tracer. The zero value samples everything into a
+// default-sized recorder.
+type Config struct {
+	// SampleRate is the fraction of requests that record a span tree:
+	// >= 1 records all, <= 0 records none (IDs are still mintable for
+	// correlation), in between records deterministically every ~1/rate-th
+	// request. 0 is "none", not "default" — callers wanting the default
+	// pass 1.
+	SampleRate float64
+	// Recent is the flight recorder's recent-trace ring capacity
+	// (default 256).
+	Recent int
+	// Retained is the slow/error retention ring capacity (default 64).
+	Retained int
+	// SlowThreshold routes traces at least this slow into the retained
+	// ring (default 1s).
+	SlowThreshold time.Duration
+	// MaxSpans bounds one trace's span count; spans past the cap are
+	// dropped and counted on the root (default 512). An APSP repair loop
+	// over thousands of sources must not hold an unbounded tree alive.
+	MaxSpans int
+}
+
+// Tracer mints request traces and feeds finished ones to its flight
+// recorder. Safe for concurrent use.
+type Tracer struct {
+	rate     float64
+	every    uint64 // 0<rate<1: sample when counter%every == 0
+	counter  atomic.Uint64
+	maxSpans int
+	rec      *FlightRecorder
+}
+
+// New builds a Tracer and its flight recorder.
+func New(cfg Config) *Tracer {
+	if cfg.Recent <= 0 {
+		cfg.Recent = 256
+	}
+	if cfg.Retained <= 0 {
+		cfg.Retained = 64
+	}
+	if cfg.SlowThreshold <= 0 {
+		cfg.SlowThreshold = time.Second
+	}
+	if cfg.MaxSpans <= 0 {
+		cfg.MaxSpans = 512
+	}
+	t := &Tracer{
+		rate:     cfg.SampleRate,
+		maxSpans: cfg.MaxSpans,
+		rec:      newFlightRecorder(cfg.Recent, cfg.Retained, cfg.SlowThreshold),
+	}
+	if cfg.SampleRate > 0 && cfg.SampleRate < 1 {
+		t.every = uint64(1 / cfg.SampleRate)
+		if t.every < 1 {
+			t.every = 1
+		}
+	}
+	return t
+}
+
+// Recorder exposes the tracer's flight recorder (the /debug/traces
+// surface reads it).
+func (t *Tracer) Recorder() *FlightRecorder { return t.rec }
+
+// sample is the per-request sampling decision: deterministic every-Nth
+// for fractional rates, so a steady load yields a steady trace stream
+// rather than a lucky burst.
+func (t *Tracer) sample() bool {
+	switch {
+	case t.rate >= 1:
+		return true
+	case t.rate <= 0:
+		return false
+	default:
+		return t.counter.Add(1)%t.every == 0
+	}
+}
+
+// StartRequest opens the root span of one request's trace. parent is the
+// inbound propagation context (the zero SpanContext when the client sent
+// none): its trace ID is adopted, and the root span records it as its
+// parent so the caller's trace links up. When the tracer declines to
+// sample, the span is nil — every Span method no-ops on nil without
+// allocating — and the returned SpanContext still carries a usable trace
+// ID (inherited or minted) for request-ID and log correlation.
+func (t *Tracer) StartRequest(name string, parent SpanContext) (*Span, SpanContext) {
+	if t == nil || !t.sample() {
+		if !parent.Valid() {
+			// Correlation IDs only; no recording.
+			parent.TraceID = MintTraceID()
+			parent.SpanID = MintSpanID()
+		}
+		parent.Sampled = false
+		return nil, parent
+	}
+	tid := parent.TraceID
+	if tid.IsZero() {
+		tid = MintTraceID()
+	}
+	at := &activeTrace{tracer: t, id: tid, start: time.Now()}
+	sp := &Span{
+		at:     at,
+		id:     MintSpanID(),
+		parent: parent.SpanID, // zero when the trace starts here
+		name:   name,
+		begin:  at.start,
+	}
+	at.root = sp
+	at.open = 1
+	return sp, SpanContext{TraceID: tid, SpanID: sp.id, Sampled: true}
+}
+
+// activeTrace accumulates one request's finished spans until the root
+// ends, then finalizes into a Trace for the recorder.
+type activeTrace struct {
+	tracer *Tracer
+	id     TraceID
+	start  time.Time
+
+	mu       sync.Mutex
+	spans    []SpanData
+	open     int
+	dropped  int
+	root     *Span
+	endpoint string
+	status   int
+	isErr    bool
+}
+
+// Span is one region of a sampled request. A nil *Span is a valid,
+// allocation-free no-op — the unsampled case — so instrumentation sites
+// never branch on sampling.
+type Span struct {
+	at     *activeTrace
+	id     SpanID
+	parent SpanID
+	name   string
+	begin  time.Time
+	attrs  []Attr
+	errMsg string
+	ended  bool
+}
+
+// SpanData is the exported (JSON) form of a finished span.
+type SpanData struct {
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id,omitempty"`
+	Name     string `json:"name"`
+	// StartUnixNano is wall-clock; DurationNano is measured on the
+	// monotonic clock, so spans order and nest correctly even across a
+	// wall-clock step.
+	StartUnixNano int64          `json:"start_unix_ns"`
+	DurationNano  int64          `json:"duration_ns"`
+	Attrs         map[string]any `json:"attrs,omitempty"`
+	Error         string         `json:"error,omitempty"`
+}
+
+// Trace is one finished request trace: the flat span list (every
+// non-root span's ParentID names another span in the list — the
+// connectivity the /debug/traces consumers verify) plus denormalized
+// root fields the flight recorder filters on.
+type Trace struct {
+	TraceID       string     `json:"trace_id"`
+	Endpoint      string     `json:"endpoint,omitempty"`
+	Status        int        `json:"status,omitempty"`
+	Error         bool       `json:"error,omitempty"`
+	StartUnixNano int64      `json:"start_unix_ns"`
+	DurationNano  int64      `json:"duration_ns"`
+	DroppedSpans  int        `json:"dropped_spans,omitempty"`
+	Spans         []SpanData `json:"spans"`
+}
+
+// StartChild opens a child span. Returns nil (still safe to use) on a
+// nil receiver or when the trace's span cap is exhausted.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	at := s.at
+	at.mu.Lock()
+	if at.open+len(at.spans) >= at.tracer.maxSpans {
+		at.dropped++
+		at.mu.Unlock()
+		return nil
+	}
+	at.open++
+	at.mu.Unlock()
+	return &Span{at: at, id: MintSpanID(), parent: s.id, name: name, begin: time.Now()}
+}
+
+// SetAttr attaches one attribute (no-op on nil).
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{key, value})
+}
+
+// SetError marks the span failed (no-op on nil). The first message wins.
+func (s *Span) SetError(msg string) {
+	if s == nil {
+		return
+	}
+	if s.errMsg == "" {
+		s.errMsg = msg
+	}
+}
+
+// SetEndpoint denormalizes the request's endpoint label onto the trace
+// for recorder filtering (root span only; no-op on nil).
+func (s *Span) SetEndpoint(endpoint string) {
+	if s == nil {
+		return
+	}
+	s.at.mu.Lock()
+	s.at.endpoint = endpoint
+	s.at.mu.Unlock()
+}
+
+// SetStatus denormalizes the HTTP status onto the trace (no-op on nil).
+func (s *Span) SetStatus(status int) {
+	if s == nil {
+		return
+	}
+	s.at.mu.Lock()
+	s.at.status = status
+	s.at.mu.Unlock()
+}
+
+// StartTime is the span's begin instant (zero on nil); Graft callers use
+// it to place synthetic children inside the parent's interval.
+func (s *Span) StartTime() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.begin
+}
+
+// Context is the span's propagation context (zero on nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.at.id, SpanID: s.id, Sampled: true}
+}
+
+// TraceIDString is the trace's 32-hex ID ("" on nil) — the exemplar and
+// log join key.
+func (s *Span) TraceIDString() string {
+	if s == nil {
+		return ""
+	}
+	return s.at.id.String()
+}
+
+// Graft appends an already-finished child span with explicit timing —
+// how the simulator's span ledger (whose "time" is rounds, not wall
+// clock) is embedded into the wall-clock tree: the caller apportions the
+// parent's measured interval across the ledger rows. No-op on nil.
+func (s *Span) Graft(name string, start time.Time, d time.Duration, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	at := s.at
+	var m map[string]any
+	if len(attrs) > 0 {
+		m = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			m[a.Key] = a.Value
+		}
+	}
+	at.mu.Lock()
+	defer at.mu.Unlock()
+	if at.open+len(at.spans) >= at.tracer.maxSpans {
+		at.dropped++
+		return
+	}
+	at.spans = append(at.spans, SpanData{
+		SpanID:        MintSpanID().String(),
+		ParentID:      s.id.String(),
+		Name:          name,
+		StartUnixNano: start.UnixNano(),
+		DurationNano:  int64(d),
+	})
+	at.spans[len(at.spans)-1].Attrs = m
+}
+
+// End finishes the span; ending the root finalizes the trace and hands
+// it to the flight recorder. No-op on nil; double End is a no-op too
+// (the instrumented error paths may End defensively).
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	d := time.Since(s.begin)
+	sd := SpanData{
+		SpanID:        s.id.String(),
+		Name:          s.name,
+		StartUnixNano: s.begin.UnixNano(),
+		DurationNano:  int64(d),
+		Error:         s.errMsg,
+	}
+	if !s.parent.IsZero() {
+		sd.ParentID = s.parent.String()
+	}
+	at := s.at
+	if s == at.root {
+		// The root's wire parent (the caller's span) is not in this trace;
+		// leave ParentID empty so the local tree has exactly one root, and
+		// carry the remote parent as an attribute instead.
+		if !s.parent.IsZero() {
+			sd.ParentID = ""
+			s.attrs = append(s.attrs, Attr{"remote_parent_span", s.parent.String()})
+		}
+	}
+	if len(s.attrs) > 0 {
+		sd.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			sd.Attrs[a.Key] = a.Value
+		}
+	}
+	if s.errMsg != "" {
+		at.mu.Lock()
+		at.isErr = true
+		at.mu.Unlock()
+	}
+	at.mu.Lock()
+	at.spans = append(at.spans, sd)
+	at.open--
+	if s != at.root {
+		at.mu.Unlock()
+		return
+	}
+	tr := &Trace{
+		TraceID:       at.id.String(),
+		Endpoint:      at.endpoint,
+		Status:        at.status,
+		Error:         at.isErr || at.status >= 400,
+		StartUnixNano: at.start.UnixNano(),
+		DurationNano:  int64(d),
+		DroppedSpans:  at.dropped,
+		Spans:         at.spans,
+	}
+	at.mu.Unlock()
+	at.tracer.rec.add(tr)
+}
+
+// ctxKey carries the current span through context.Context.
+type ctxKey struct{}
+
+// NewContext returns ctx with the span attached (ctx unchanged when the
+// span is nil — FromContext then returns nil, keeping the no-op chain).
+func NewContext(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span attached to ctx, or nil (the universal
+// no-op span) when none is.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}

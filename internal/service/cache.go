@@ -70,6 +70,29 @@ func NewCache(budget int64) *Cache {
 	}
 }
 
+// cacheOutcome distinguishes how a getOrCompute call was served; the
+// tracing layer labels each request's cache span with it (a singleflight
+// follower is a "shared" hit: its bytes came from another request's
+// in-flight computation, and its trace has no engine span of its own).
+type cacheOutcome uint8
+
+const (
+	cacheMiss   cacheOutcome = iota // this caller ran compute
+	cacheHit                        // resident entry
+	cacheShared                     // another request's in-flight computation
+)
+
+func (o cacheOutcome) String() string {
+	switch o {
+	case cacheHit:
+		return "hit"
+	case cacheShared:
+		return "shared"
+	default:
+		return "miss"
+	}
+}
+
 // GetOrCompute returns the cached body for key, or runs compute exactly
 // once per key at a time and caches its result. hit reports whether the
 // bytes came from the cache or a concurrent identical computation (a
@@ -82,10 +105,11 @@ func NewCache(budget int64) *Cache {
 // instead of inheriting the 499. Genuine compute errors propagate to
 // every waiter unretried.
 func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (body []byte, hit bool, err error) {
-	return c.getOrCompute(key, func() ([]byte, bool, error) {
+	body, out, err := c.getOrCompute(key, func() ([]byte, bool, error) {
 		b, err := compute()
 		return b, true, err
 	})
+	return body, out != cacheMiss, err
 }
 
 // GetOrComputeEx is GetOrCompute for computations that decide at run time
@@ -95,10 +119,11 @@ func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (body [
 // the key (the incremental-APSP assembly, whose reuse split depends on
 // what happened to be cached).
 func (c *Cache) GetOrComputeEx(key string, compute func() ([]byte, bool, error)) (body []byte, hit bool, err error) {
-	return c.getOrCompute(key, compute)
+	body, out, err := c.getOrCompute(key, compute)
+	return body, out != cacheMiss, err
 }
 
-func (c *Cache) getOrCompute(key string, compute func() ([]byte, bool, error)) (body []byte, hit bool, err error) {
+func (c *Cache) getOrCompute(key string, compute func() ([]byte, bool, error)) (body []byte, out cacheOutcome, err error) {
 	for {
 		c.mu.Lock()
 		if el, ok := c.items[key]; ok {
@@ -106,7 +131,7 @@ func (c *Cache) getOrCompute(key string, compute func() ([]byte, bool, error)) (
 			c.hits++
 			body = el.Value.(*centry).body
 			c.mu.Unlock()
-			return body, true, nil
+			return body, cacheHit, nil
 		}
 		if f, ok := c.flights[key]; ok {
 			c.mu.Unlock()
@@ -115,20 +140,20 @@ func (c *Cache) getOrCompute(key string, compute func() ([]byte, bool, error)) (
 				if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
 					continue // the leader's client died, not the computation
 				}
-				return nil, false, f.err
+				return nil, cacheMiss, f.err
 			}
 			c.mu.Lock()
 			c.hits++ // served by the leader's computation, not our own
 			c.shared++
 			c.mu.Unlock()
-			return f.body, true, nil
+			return f.body, cacheShared, nil
 		}
 		f := &flight{done: make(chan struct{})}
 		c.flights[key] = f
 		c.misses++
 		c.mu.Unlock()
 		c.lead(key, f, compute)
-		return f.body, false, f.err
+		return f.body, cacheMiss, f.err
 	}
 }
 

@@ -1,0 +1,94 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"dsssp/internal/obs/trace"
+)
+
+// TraceHandler serves the flight recorder. Mount it on the PRIVATE debug
+// listener (next to pprof) — traces carry request paths and graph IDs:
+//
+//	GET /debug/traces                  newest-first trace list (JSON array)
+//	GET /debug/traces?min_ms=250       only traces at least this slow
+//	GET /debug/traces?status=422       only this exact HTTP status
+//	GET /debug/traces?errors=1         only errored traces
+//	GET /debug/traces?endpoint=sssp    only this endpoint label
+//	GET /debug/traces?limit=20         cap the list (default 100)
+//	GET /debug/traces?format=jsonl     one trace per line (the CI artifact)
+//	GET /debug/traces/{id}             one trace by 32-hex ID (404 when
+//	                                   evicted or never sampled)
+func (s *Server) TraceHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/traces", s.handleTraceList)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceGet)
+	return mux
+}
+
+// traceFilter parses the list endpoint's query parameters; unparsable
+// numbers are 400s (a typo must not silently widen the filter).
+func traceFilter(r *http.Request) (trace.Filter, error) {
+	var fl trace.Filter
+	q := r.URL.Query()
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fl, badf("bad min_ms %q: %v", v, err)
+		}
+		fl.MinDuration = time.Duration(ms * float64(time.Millisecond))
+	}
+	if v := q.Get("status"); v != "" {
+		st, err := strconv.Atoi(v)
+		if err != nil {
+			return fl, badf("bad status %q: %v", v, err)
+		}
+		fl.Status = st
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fl, badf("bad limit %q: %v", v, err)
+		}
+		fl.Limit = n
+	}
+	switch q.Get("errors") {
+	case "", "0", "false":
+	case "1", "true":
+		fl.Errors = true
+	default:
+		return fl, badf("bad errors %q: want 0/1", q.Get("errors"))
+	}
+	fl.Endpoint = q.Get("endpoint")
+	return fl, nil
+}
+
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	fl, err := traceFilter(r)
+	if err != nil {
+		s.replyError(w, err)
+		return
+	}
+	rec := s.tracer.Recorder()
+	if r.URL.Query().Get("format") == "jsonl" {
+		w.Header().Set("Content-Type", "application/jsonl")
+		rec.WriteJSONL(w, fl)
+		return
+	}
+	traces := rec.Traces(fl)
+	if traces == nil {
+		traces = []*trace.Trace{} // an empty recorder is [], not null
+	}
+	writeJSON(w, http.StatusOK, traces)
+}
+
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t := s.tracer.Recorder().Get(id)
+	if t == nil {
+		s.replyError(w, notfoundf("no trace %q in the flight recorder (evicted, unsampled, or never seen)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
+}

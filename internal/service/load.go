@@ -7,8 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
+
+	"dsssp/internal/obs/trace"
 )
 
 // LoadOptions tunes the service-load workload: Concurrency clients fire
@@ -50,8 +53,47 @@ type LoadReport struct {
 	WallNS  int64   `json:"wall_ns"`
 	// RPS is end-to-end request throughput over the run.
 	RPS float64 `json:"rps"`
+	// P50NS / P99NS are client-observed per-request latency percentiles.
+	P50NS int64 `json:"p50_ns"`
+	P99NS int64 `json:"p99_ns"`
+	// P99Traces are the trace IDs of the slowest requests (at or above
+	// the p99), slowest first — each load run mints a traceparent per
+	// request, so a bad percentile is directly drillable in the server's
+	// /debug/traces instead of being an anonymous number.
+	P99Traces []TraceRef `json:"p99_traces,omitempty"`
 	// FirstError carries one representative failure for diagnosis.
 	FirstError string `json:"first_error,omitempty"`
+}
+
+// TraceRef points a load-report outlier at a concrete server-side trace
+// in the flight recorder.
+type TraceRef struct {
+	TraceID   string `json:"trace_id"`
+	LatencyNS int64  `json:"latency_ns"`
+	// Served records how the request was answered (hit/miss for the
+	// static workload; reused/repaired/recomputed for the dynamic one).
+	Served string `json:"served,omitempty"`
+}
+
+// p99TraceRefs returns the sample's p99 and the refs at or above it,
+// slowest first, capped so a report stays a report (the full recorder is
+// one /debug/traces call away).
+func p99TraceRefs(samples []TraceRef) (p99 int64, slowest []TraceRef) {
+	const maxRefs = 5
+	if len(samples) == 0 {
+		return 0, nil
+	}
+	sorted := make([]TraceRef, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].LatencyNS > sorted[b].LatencyNS })
+	p99 = sorted[(len(sorted)-1)-int(0.99*float64(len(sorted)-1))].LatencyNS
+	for _, s := range sorted {
+		if s.LatencyNS < p99 || len(slowest) == maxRefs {
+			break
+		}
+		slowest = append(slowest, s)
+	}
+	return p99, slowest
 }
 
 // RunLoad hammers a running server with concurrent SSSP queries and
@@ -76,9 +118,10 @@ func RunLoad(ctx context.Context, client *http.Client, baseURL string, opt LoadO
 	}
 
 	var (
-		mu  sync.Mutex
-		rep = LoadReport{Options: opt, Requests: opt.Requests}
-		wg  sync.WaitGroup
+		mu      sync.Mutex
+		rep     = LoadReport{Options: opt, Requests: opt.Requests}
+		samples []TraceRef
+		wg      sync.WaitGroup
 	)
 	idx := make(chan int)
 	start := time.Now()
@@ -87,7 +130,9 @@ func RunLoad(ctx context.Context, client *http.Client, baseURL string, opt LoadO
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				hit, _, err := oneLoadRequest(ctx, client, baseURL, bodies[i%len(bodies)])
+				reqStart := time.Now()
+				hit, _, traceID, err := oneLoadRequest(ctx, client, baseURL, bodies[i%len(bodies)])
+				latNS := time.Since(reqStart).Nanoseconds()
 				mu.Lock()
 				switch {
 				case err != nil:
@@ -99,6 +144,13 @@ func RunLoad(ctx context.Context, client *http.Client, baseURL string, opt LoadO
 					rep.Hits++
 				default:
 					rep.Misses++
+				}
+				if err == nil {
+					served := "miss"
+					if hit {
+						served = "hit"
+					}
+					samples = append(samples, TraceRef{TraceID: traceID, LatencyNS: latNS, Served: served})
 				}
 				mu.Unlock()
 			}
@@ -121,29 +173,43 @@ func RunLoad(ctx context.Context, client *http.Client, baseURL string, opt LoadO
 	if rep.WallNS > 0 {
 		rep.RPS = float64(rep.Requests) / (float64(rep.WallNS) / 1e9)
 	}
+	if len(samples) > 0 {
+		lats := make([]time.Duration, len(samples))
+		for i, s := range samples {
+			lats[i] = time.Duration(s.LatencyNS)
+		}
+		rep.P50NS, _ = percentiles(lats)
+		rep.P99NS, rep.P99Traces = p99TraceRefs(samples)
+	}
 	return rep, ctx.Err()
 }
 
 // oneLoadRequest fires a single SSSP query and reports how it was
 // served: hit is the X-Dsssp-Cache verdict, incr is the X-Dsssp-Incr
 // verdict ("repaired"/"recomputed", empty off the registered path).
-func oneLoadRequest(ctx context.Context, client *http.Client, baseURL string, body []byte) (hit bool, incr string, err error) {
+// Each request carries a freshly minted traceparent so its server-side
+// span tree is addressable in the flight recorder by the returned
+// traceID — that is what turns a p99 number into a p99 explanation.
+func oneLoadRequest(ctx context.Context, client *http.Client, baseURL string, body []byte) (hit bool, incr, traceID string, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/sssp", bytes.NewReader(body))
 	if err != nil {
-		return false, "", err
+		return false, "", "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	sc := trace.MintContext()
+	req.Header.Set(trace.TraceparentHeader, sc.Traceparent())
+	traceID = sc.TraceID.String()
 	resp, err := client.Do(req)
 	if err != nil {
-		return false, "", err
+		return false, "", traceID, err
 	}
 	defer resp.Body.Close()
 	payload, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return false, "", err
+		return false, "", traceID, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return false, "", fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(payload))
+		return false, "", traceID, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(payload))
 	}
-	return resp.Header.Get("X-Dsssp-Cache") == "hit", resp.Header.Get("X-Dsssp-Incr"), nil
+	return resp.Header.Get("X-Dsssp-Cache") == "hit", resp.Header.Get("X-Dsssp-Incr"), traceID, nil
 }

@@ -90,9 +90,14 @@ type DynamicLoadReport struct {
 	RecomputedP50NS int64 `json:"recomputed_p50_ns"`
 	RecomputedP99NS int64 `json:"recomputed_p99_ns"`
 
-	WallNS     int64   `json:"wall_ns"`
-	RPS        float64 `json:"rps"`
-	FirstError string  `json:"first_error,omitempty"`
+	WallNS int64   `json:"wall_ns"`
+	RPS    float64 `json:"rps"`
+	// P99Traces are the trace IDs of the slowest requests across all three
+	// serving classes, slowest first, each tagged with how it was served —
+	// the tail of a dynamic run is almost always recomputes, and the refs
+	// make that checkable against /debug/traces instead of guessable.
+	P99Traces  []TraceRef `json:"p99_traces,omitempty"`
+	FirstError string     `json:"first_error,omitempty"`
 }
 
 // RunLoadDynamic drives the dynamic-graph workload against a running
@@ -136,6 +141,7 @@ func RunLoadDynamic(ctx context.Context, client *http.Client, baseURL string, op
 	var (
 		mu                           sync.Mutex
 		reused, repaired, recomputed []time.Duration
+		samples                      []TraceRef
 		wg                           sync.WaitGroup
 	)
 	idx := make(chan int)
@@ -146,7 +152,7 @@ func RunLoadDynamic(ctx context.Context, client *http.Client, baseURL string, op
 			defer wg.Done()
 			for i := range idx {
 				t0 := time.Now()
-				hit, incr, err := oneLoadRequest(ctx, client, baseURL, queryBodies[i%len(queryBodies)])
+				hit, incr, traceID, err := oneLoadRequest(ctx, client, baseURL, queryBodies[i%len(queryBodies)])
 				d := time.Since(t0)
 				mu.Lock()
 				switch {
@@ -161,6 +167,16 @@ func RunLoadDynamic(ctx context.Context, client *http.Client, baseURL string, op
 					repaired = append(repaired, d)
 				default:
 					recomputed = append(recomputed, d)
+				}
+				if err == nil {
+					served := "recomputed"
+					switch {
+					case hit:
+						served = "reused"
+					case incr == "repaired":
+						served = "repaired"
+					}
+					samples = append(samples, TraceRef{TraceID: traceID, LatencyNS: d.Nanoseconds(), Served: served})
 				}
 				mu.Unlock()
 			}
@@ -226,6 +242,7 @@ func RunLoadDynamic(ctx context.Context, client *http.Client, baseURL string, op
 	rep.ReusedP50NS, rep.ReusedP99NS = percentiles(reused)
 	rep.RepairedP50NS, rep.RepairedP99NS = percentiles(repaired)
 	rep.RecomputedP50NS, rep.RecomputedP99NS = percentiles(recomputed)
+	_, rep.P99Traces = p99TraceRefs(samples)
 	if rep.WallNS > 0 {
 		rep.RPS = float64(rep.Requests) / (float64(rep.WallNS) / 1e9)
 	}

@@ -52,6 +52,11 @@ type serverMetrics struct {
 	incrRepairFallbacks    *obs.Counter
 	repairAffectedFraction *obs.Histogram
 	repairSeconds          *obs.Histogram
+
+	// Per-phase wall-time split of successful repairs (carve/seed/settle/
+	// witness) — the served:"repaired" counterpart of phaseRounds, so a
+	// repaired query has a breakdown story like a computed one.
+	repairPhaseSeconds *obs.HistogramVec // phase
 }
 
 func newServerMetrics(cfg *Config, cache *Cache, store *Store, registry *GraphRegistry) *serverMetrics {
@@ -100,6 +105,9 @@ func newServerMetrics(cfg *Config, cache *Cache, store *Store, registry *GraphRe
 		repairSeconds: r.Histogram("dsssp_incr_repair_seconds",
 			"Wall seconds spent in affected-region repair (successful or abandoned).",
 			obs.LatencyBuckets),
+		repairPhaseSeconds: r.HistogramVec("dsssp_repair_phase_seconds",
+			"Wall seconds a successful repair spent in each phase (carve, seed, settle, witness).",
+			obs.ExpBuckets(1e-6, 4, 12), "phase"),
 	}
 	r.Gauge("dsssp_query_pool_workers", "Configured worker-pool size.").Set(int64(cfg.Workers))
 	r.GaugeFunc("dsssp_graphs_registered",
@@ -155,11 +163,13 @@ func newServerMetrics(cfg *Config, cache *Cache, store *Store, registry *GraphRe
 
 // observePhases feeds one query's per-phase round breakdown into the
 // per-phase histograms — the bridge from the span ledger (PR 4) to the
-// scrape surface. Called once per computed (not cached) query.
-func (m *serverMetrics) observePhases(phases []harness.PhaseStat) {
+// scrape surface. Called once per computed (not cached) query. traceID,
+// when non-empty (the query was sampled), rides along as each bucket's
+// exemplar so a dashboard outlier deep-links into /debug/traces.
+func (m *serverMetrics) observePhases(phases []harness.PhaseStat, traceID string) {
 	for _, ph := range phases {
 		if ph.Rounds > 0 {
-			m.phaseRounds.With(ph.Phase).Observe(float64(ph.Rounds))
+			m.phaseRounds.With(ph.Phase).ObserveExemplar(float64(ph.Rounds), traceID)
 		}
 	}
 }

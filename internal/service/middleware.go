@@ -1,8 +1,6 @@
 package service
 
 import (
-	"crypto/rand"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,18 +9,22 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"dsssp/internal/obs/trace"
 )
 
-// RequestIDHeader carries the per-request correlation ID: generated when
-// absent, echoed when the client supplies a reasonable one, always set on
-// the response and embedded in error JSON bodies — so one ID links the
-// client's view, the completion log line, and the error payload.
+// RequestIDHeader carries the per-request correlation ID: minted from the
+// trace ID when absent, echoed when the client supplies a reasonable one,
+// always set on the response and embedded in error JSON bodies — so one
+// ID links the client's view, the completion log line, the metrics
+// exemplars, and the flight-recorder trace.
 const RequestIDHeader = "X-Dsssp-Request-Id"
 
 // requestID returns the inbound header's ID if it is sane (short,
-// printable ASCII — it gets logged and echoed verbatim) or mints a fresh
-// 16-hex-char one.
-func requestID(r *http.Request) string {
+// printable ASCII — it gets logged and echoed verbatim) or the request's
+// 32-hex trace ID, so logs, exemplars, and traces join on one key even
+// for clients that send neither header.
+func requestID(r *http.Request, sc trace.SpanContext) string {
 	if id := r.Header.Get(RequestIDHeader); id != "" && len(id) <= 64 {
 		ok := true
 		for _, c := range id {
@@ -35,9 +37,7 @@ func requestID(r *http.Request) string {
 			return id
 		}
 	}
-	var b [8]byte
-	rand.Read(b[:]) // never fails (crypto/rand panics rather than degrade)
-	return hex.EncodeToString(b[:])
+	return sc.TraceID.String()
 }
 
 // statusWriter wraps the ResponseWriter to capture the status code and
@@ -144,20 +144,61 @@ func (w *statusWriter) ReadFrom(r io.Reader) (int64, error) {
 // a bare recorder in unit tests).
 func (w *statusWriter) dssspRequestID() string { return w.requestID }
 
+// TraceparentHeader is the response echo of the W3C propagation header:
+// set (canonicalized) whenever the client sent one or the request was
+// sampled, so callers can join their own traces to the flight recorder.
+const TraceparentHeader = "Traceparent"
+
+// rootSpanName names the root span for the bounded endpoint vocabulary.
+// The query endpoints return constants so the unsampled fast path does
+// not pay a concatenation allocation; everything else (debug, sweeps,
+// health) allocates once, off the pinned path.
+func rootSpanName(endpoint string) string {
+	switch endpoint {
+	case "sssp":
+		return "HTTP sssp"
+	case "apsp":
+		return "HTTP apsp"
+	case "path":
+		return "HTTP path"
+	}
+	return "HTTP " + endpoint
+}
+
 // instrument wraps the mux with the per-request telemetry envelope:
-// request-ID assignment, in-flight/latency/status metrics, the one
-// completion log line, slow-query logging, and panic recovery (a handler
-// panic becomes a 500 JSON error, never a dead connection and never a
-// dead server).
+// trace-root and request-ID assignment, in-flight/latency/status metrics,
+// the one completion log line, slow-query logging, and panic recovery (a
+// handler panic becomes a 500 JSON error, never a dead connection and
+// never a dead server). The root span is started here — adopting the
+// client's traceparent trace ID when one parses, minting otherwise — and
+// ended here with the final status, so every child span a handler opens
+// lands in one connected tree.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		endpoint := endpointLabel(r.URL.Path)
-		sw := &statusWriter{ResponseWriter: w, requestID: requestID(r)}
+		parent, hadParent := trace.ParseTraceparent(r.Header.Get(trace.TraceparentHeader))
+		span, sc := s.tracer.StartRequest(rootSpanName(endpoint), parent)
+		sw := &statusWriter{ResponseWriter: w, requestID: requestID(r, sc)}
 		sw.Header().Set(RequestIDHeader, sw.requestID)
+		if hadParent || sc.Sampled {
+			// Unsolicited traceparent echo is skipped when unsampled: the
+			// cached-hit fast path must not pay the header rendering.
+			sw.Header().Set(TraceparentHeader, sc.Traceparent())
+		}
+		if span != nil {
+			span.SetEndpoint(endpoint)
+			span.SetAttr("method", r.Method)
+			span.SetAttr("path", r.URL.Path)
+			span.SetAttr("request_id", sw.requestID)
+			// The request clone is sampled-only: WithContext allocates, and
+			// the nil span needs no carrier (FromContext yields nil anyway).
+			r = r.WithContext(trace.NewContext(r.Context(), span))
+		}
 		s.metrics.inFlight.With(endpoint).Inc()
 		start := time.Now()
 		defer func() {
 			if p := recover(); p != nil {
+				span.SetError(fmt.Sprintf("panic: %v", p))
 				writeError(sw, http.StatusInternalServerError, "internal panic: %v", p)
 			}
 			elapsed := time.Since(start)
@@ -165,9 +206,15 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			if status == 0 {
 				status = http.StatusOK // handler wrote nothing at all
 			}
+			span.SetStatus(status)
+			span.End()
 			s.metrics.inFlight.With(endpoint).Dec()
 			s.metrics.requests.With(endpoint, strconv.Itoa(status)).Inc()
-			s.metrics.latency.With(endpoint).Observe(elapsed.Seconds())
+			if sc.Sampled {
+				s.metrics.latency.With(endpoint).ObserveExemplar(elapsed.Seconds(), span.TraceIDString())
+			} else {
+				s.metrics.latency.With(endpoint).Observe(elapsed.Seconds())
+			}
 			attrs := []slog.Attr{
 				slog.String("method", r.Method),
 				slog.String("path", r.URL.Path),
@@ -176,6 +223,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 				slog.Duration("latency", elapsed),
 				slog.Int64("bytes", sw.bytes),
 				slog.String("request_id", sw.requestID),
+				slog.String("trace_id", sc.TraceID.String()),
 			}
 			if cacheState := sw.Header().Get("X-Dsssp-Cache"); cacheState != "" {
 				attrs = append(attrs, slog.String("cache", cacheState))

@@ -28,6 +28,7 @@ import (
 	"dsssp/internal/harness"
 	"dsssp/internal/incr"
 	"dsssp/internal/obs"
+	"dsssp/internal/obs/trace"
 )
 
 // Config tunes a Server. The zero value serves with sane defaults except
@@ -83,7 +84,20 @@ type Config struct {
 	Logger *slog.Logger
 	// SlowQueryThreshold marks requests slower than this as slow queries
 	// (logged at Warn, counted in dsssp_slow_queries_total; default 1s).
+	// Traces at least this slow also land in the flight recorder's
+	// retained ring.
 	SlowQueryThreshold time.Duration
+	// TraceSampleRate is the fraction of requests that record a span tree
+	// into the flight recorder (0 defaults to 1.0 — record everything;
+	// negative disables recording, leaving only trace-ID correlation).
+	// Unsampled requests pay no tracing allocations.
+	TraceSampleRate float64
+	// TraceRecent is the flight recorder's recent-trace ring capacity
+	// (default 256).
+	TraceRecent int
+	// TraceRetained is the flight recorder's slow/error retention ring
+	// capacity (default 64).
+	TraceRetained int
 
 	// now is the test hook for timestamps (default time.Now).
 	now func() time.Time
@@ -129,6 +143,9 @@ func (c *Config) applyDefaults() {
 	if c.SlowQueryThreshold <= 0 {
 		c.SlowQueryThreshold = time.Second
 	}
+	if c.TraceSampleRate == 0 {
+		c.TraceSampleRate = 1
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -146,6 +163,7 @@ type Server struct {
 	sweepSem chan struct{}
 	mux      *http.ServeMux
 	metrics  *serverMetrics
+	tracer   *trace.Tracer
 	logger   *slog.Logger
 	started  time.Time
 
@@ -177,6 +195,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	metrics := newServerMetrics(&cfg, cache, store, registry)
 	registry.bindMetrics(metrics)
+	tracer := trace.New(trace.Config{
+		SampleRate:    cfg.TraceSampleRate,
+		Recent:        cfg.TraceRecent,
+		Retained:      cfg.TraceRetained,
+		SlowThreshold: cfg.SlowQueryThreshold,
+	})
 	s := &Server{
 		cfg:       cfg,
 		cache:     cache,
@@ -187,6 +211,7 @@ func New(cfg Config) (*Server, error) {
 		sweepSem:  make(chan struct{}, cfg.MaxConcurrentSweeps),
 		mux:       http.NewServeMux(),
 		metrics:   metrics,
+		tracer:    tracer,
 		logger:    cfg.Logger,
 		started:   cfg.now(),
 		baseCtx:   ctx,
@@ -224,6 +249,10 @@ func (s *Server) Handler() http.Handler {
 // debug listener too; tests scrape it directly).
 func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
 
+// Tracer exposes the request tracer (the load generators and tests reach
+// the flight recorder through it).
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
+
 // Close cancels every running job, waits for them to finish, and flushes
 // the registry to its persistence directory (traces accumulated by queries
 // since the last register/PATCH spill included). Call after the HTTP
@@ -253,7 +282,7 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	// breakdown; folding trace into the options before the key is computed
 	// keeps traced and untraced responses as distinct cache entries.
 	req.Options.RecordPhases = req.Options.RecordPhases || wantTrace(r)
-	g, digest, opts, ref, ok := s.prepare(w, req.Graph, req.Options)
+	g, digest, opts, ref, ok := s.prepare(w, r, req.Graph, req.Options)
 	if !ok {
 		return
 	}
@@ -263,7 +292,7 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	}
 	parts := queryKeyParts("sssp", req.Options, fmt.Sprintf("src=%d", req.Source))
 	repaired := false
-	hit, ok := s.finishQuery(w, r, keyFromDigest(digest, parts), func() ([]byte, bool, error) {
+	hit, ok := s.finishQuery(w, r, keyFromDigest(digest, parts), func(sp *trace.Span) ([]byte, bool, error) {
 		// A cache miss on a registered graph first tries affected-region
 		// repair of the source's remembered trace — skipped when the
 		// request wants the per-phase breakdown, which only a real
@@ -273,7 +302,7 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 		// (or the next cache hit on an already-canonical entry) re-mints
 		// those.
 		if !req.Options.RecordPhases {
-			if rr := s.tryRepair(ref, digest, g, graph.NodeID(req.Source)); rr != nil {
+			if rr := s.tryRepair(sp, ref, digest, g, graph.NodeID(req.Source)); rr != nil {
 				repaired = true
 				w.Header().Set("X-Dsssp-Incr", "repaired")
 				resp := SSSPResponse{
@@ -289,12 +318,17 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 		if ref != nil {
 			w.Header().Set("X-Dsssp-Incr", "recomputed")
 		}
+		eng := sp.StartChild("engine")
 		res, err := dsssp.SSSP(g, graph.NodeID(req.Source), opts)
 		if err != nil {
+			eng.SetError(err.Error())
+			eng.End()
 			return nil, false, err
 		}
 		phases := harness.PhasesFromSpans(res.Metrics.Spans)
-		s.metrics.observePhases(phases)
+		graftEnginePhases(eng, phases)
+		eng.End()
+		s.metrics.observePhases(phases, sp.TraceIDString())
 		if ref != nil {
 			// The distance row is what a future PATCH classifies this
 			// source against; the witness tree is what a repair restarts
@@ -328,7 +362,13 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 // trace, repair disabled, or the region outgrew the cutoff). On success
 // the repaired trace is promoted to the head revision, so the next PATCH
 // classifies it and the next query serves it in O(n).
-func (s *Server) tryRepair(ref *graphRef, digest [32]byte, g *graph.Graph, src graph.NodeID) *incr.RepairResult {
+//
+// A sampled request gets a repair span under sp, with the four repair
+// phases (carve/seed/settle/witness) grafted as children carrying their
+// measured wall times, and the affected-region sizes as attributes; the
+// same per-phase split feeds dsssp_repair_phase_seconds so repaired
+// queries have a breakdown story like computed ones.
+func (s *Server) tryRepair(sp *trace.Span, ref *graphRef, digest [32]byte, g *graph.Graph, src graph.NodeID) *incr.RepairResult {
 	if ref == nil || s.cfg.RepairMaxAffected < 0 {
 		return nil
 	}
@@ -343,15 +383,31 @@ func (s *Server) tryRepair(ref *graphRef, digest [32]byte, g *graph.Graph, src g
 			limit = 1
 		}
 	}
+	rsp := sp.StartChild("repair")
+	rsp.SetAttr("source", int64(src))
+	rsp.SetAttr("changes", len(changes))
 	start := time.Now()
 	rr, ok := incr.Repair(g, src, tr, changes, limit)
 	s.metrics.repairSeconds.Observe(time.Since(start).Seconds())
 	if !ok {
 		s.metrics.incrRepairFallbacks.Inc()
+		rsp.SetAttr("outcome", "fallback")
+		rsp.End()
 		return nil
 	}
 	s.metrics.incrSourcesRepaired.Inc()
 	s.metrics.repairAffectedFraction.Observe(float64(rr.Affected) / float64(g.N()))
+	rsp.SetAttr("outcome", "repaired")
+	rsp.SetAttr("affected", rr.Affected)
+	rsp.SetAttr("orphaned", rr.Orphaned)
+	rsp.SetAttr("affected_fraction", float64(rr.Affected)/float64(g.N()))
+	cursor := rsp.StartTime()
+	for i, ns := range rr.PhaseNS {
+		s.metrics.repairPhaseSeconds.With(incr.RepairPhaseNames[i]).Observe(float64(ns) / 1e9)
+		rsp.Graft("repair:"+incr.RepairPhaseNames[i], cursor, time.Duration(ns))
+		cursor = cursor.Add(time.Duration(ns))
+	}
+	rsp.End()
 	s.registry.Record(ref.id, digest, src, rr.Dist, rr.Parent, "")
 	return rr
 }
@@ -391,7 +447,7 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	g, digest, opts, ref, ok := s.prepare(w, req.Graph, req.Options)
+	g, digest, opts, ref, ok := s.prepare(w, r, req.Graph, req.Options)
 	if !ok {
 		return
 	}
@@ -403,12 +459,12 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 	}
 	parts := queryKeyParts("path", req.Options, fmt.Sprintf("src=%d|dst=%d", req.Source, req.Target))
 	repaired := false
-	hit, ok := s.finishQuery(w, r, keyFromDigest(digest, parts), func() ([]byte, bool, error) {
+	hit, ok := s.finishQuery(w, r, keyFromDigest(digest, parts), func(sp *trace.Span) ([]byte, bool, error) {
 		// A repaired trace answers a path query directly: the witness tree
 		// IS the shortest-path tree, so the path is a parent walk from the
 		// target — no simulation, no tree extraction.
 		if !req.Options.RecordPhases {
-			if rr := s.tryRepair(ref, digest, g, graph.NodeID(req.Source)); rr != nil {
+			if rr := s.tryRepair(sp, ref, digest, g, graph.NodeID(req.Source)); rr != nil {
 				repaired = true
 				w.Header().Set("X-Dsssp-Incr", "repaired")
 				resp := PathResponse{Dist: rr.Dist[req.Target], Path: []int64{}, Incr: queryIncr(rr, g.N())}
@@ -425,11 +481,17 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 		if ref != nil {
 			w.Header().Set("X-Dsssp-Incr", "recomputed")
 		}
+		eng := sp.StartChild("engine")
 		tr, err := dsssp.SSSPTree(g, graph.NodeID(req.Source), opts)
 		if err != nil {
+			eng.SetError(err.Error())
+			eng.End()
 			return nil, false, err
 		}
-		s.metrics.observePhases(harness.PhasesFromSpans(tr.Metrics.Spans))
+		pathPhases := harness.PhasesFromSpans(tr.Metrics.Spans)
+		graftEnginePhases(eng, pathPhases)
+		eng.End()
+		s.metrics.observePhases(pathPhases, sp.TraceIDString())
 		if ref != nil {
 			// A path query is an SSSP from its source under the covers, so
 			// its trace classifies (and migrates/invalidates) like one —
@@ -474,13 +536,13 @@ func (s *Server) handleAPSP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Options.RecordPhases = req.Options.RecordPhases || wantTrace(r)
-	g, digest, opts, ref, ok := s.prepare(w, req.Graph, req.Options)
+	g, digest, opts, ref, ok := s.prepare(w, r, req.Graph, req.Options)
 	if !ok {
 		return
 	}
 	parts := queryKeyParts("apsp", req.Options, fmt.Sprintf("seed=%d", req.Seed))
 	var rowsReused, rowsRecomputed int64
-	hit, ok := s.finishQuery(w, r, keyFromDigest(digest, parts), func() ([]byte, bool, error) {
+	hit, ok := s.finishQuery(w, r, keyFromDigest(digest, parts), func(sp *trace.Span) ([]byte, bool, error) {
 		// For a registered graph, fan out only to sources without a traced
 		// row at this revision — and before fanning out, try affected-region
 		// repair on each untraced source that still has a stale trace.
@@ -506,7 +568,7 @@ func (s *Server) handleAPSP(w http.ResponseWriter, r *http.Request) {
 		if ref != nil && len(missing) > 0 {
 			still := missing[:0]
 			for _, src := range missing {
-				if rr := s.tryRepair(ref, digest, g, src); rr != nil {
+				if rr := s.tryRepair(sp, ref, digest, g, src); rr != nil {
 					dist[src] = rr.Dist
 					repairedRows++
 				} else {
@@ -518,8 +580,12 @@ func (s *Server) handleAPSP(w http.ResponseWriter, r *http.Request) {
 		reused := g.N() - len(missing) - repairedRows
 		resp := APSPResponse{N: g.N(), M: g.M(), Dist: dist}
 		if len(missing) > 0 {
+			eng := sp.StartChild("engine")
+			eng.SetAttr("sources", len(missing))
 			res, err := dsssp.APSPFrom(g, missing, opts, req.Seed)
 			if err != nil {
+				eng.SetError(err.Error())
+				eng.End()
 				return nil, false, err
 			}
 			for _, src := range missing {
@@ -527,7 +593,9 @@ func (s *Server) handleAPSP(w http.ResponseWriter, r *http.Request) {
 			}
 			comp := res.Composition
 			phases := harness.PhasesFromSpans(comp.Spans)
-			s.metrics.observePhases(phases)
+			graftEnginePhases(eng, phases)
+			eng.End()
+			s.metrics.observePhases(phases, sp.TraceIDString())
 			resp.Composition = CompositionJSON{
 				Dilation: comp.Dilation, Congestion: comp.Congestion,
 				MakespanAligned: comp.MakespanAligned, MakespanRandom: comp.MakespanRandom,
@@ -597,8 +665,13 @@ type graphRef struct {
 // handle and revision travel in response headers, not the body: cached
 // bodies are migrated verbatim across revisions on PATCH, so a body-borne
 // revision number would go stale the moment an entry is carried forward.
-func (s *Server) prepare(w http.ResponseWriter, spec GraphSpec, qo QueryOptions) (*graph.Graph, [32]byte, *dsssp.Options, *graphRef, bool) {
+// A sampled request gets a graph.resolve span recording where the graph
+// came from (registry / inline / generator) and its size.
+func (s *Server) prepare(w http.ResponseWriter, r *http.Request, spec GraphSpec, qo QueryOptions) (*graph.Graph, [32]byte, *dsssp.Options, *graphRef, bool) {
+	sp := trace.FromContext(r.Context()).StartChild("graph.resolve")
 	fail := func(err error) (*graph.Graph, [32]byte, *dsssp.Options, *graphRef, bool) {
+		sp.SetError(err.Error())
+		sp.End()
 		s.replyError(w, err)
 		return nil, [32]byte{}, nil, nil, false
 	}
@@ -616,12 +689,24 @@ func (s *Server) prepare(w http.ResponseWriter, spec GraphSpec, qo QueryOptions)
 		}
 		w.Header().Set("X-Dsssp-Graph-Id", spec.ID)
 		w.Header().Set("X-Dsssp-Graph-Revision", strconv.Itoa(rev))
+		sp.SetAttr("source", "registry")
+		sp.SetAttr("graph_id", spec.ID)
+		sp.SetAttr("revision", rev)
+		sp.SetAttr("n", g.N())
+		sp.End()
 		return g, digest, opts, &graphRef{id: spec.ID, revision: rev}, true
 	}
 	g, err := buildGraph(spec, s.cfg.MaxN, s.cfg.MaxEdges)
 	if err != nil {
 		return fail(err)
 	}
+	if spec.Family != "" {
+		sp.SetAttr("source", "generator")
+	} else {
+		sp.SetAttr("source", "inline")
+	}
+	sp.SetAttr("n", g.N())
+	sp.End()
 	return g, canonicalGraphDigest(g), opts, nil, true
 }
 
@@ -635,14 +720,25 @@ func (s *Server) prepare(w http.ResponseWriter, spec GraphSpec, qo QueryOptions)
 // functions of the key (the incremental-APSP assembly). Returns whether
 // the response was a cache hit and whether it was served at all (ok=false
 // means an error reply already went out).
-func (s *Server) finishQuery(w http.ResponseWriter, r *http.Request, key string, compute func() ([]byte, bool, error)) (hit, ok bool) {
-	body, hit, err := s.cache.GetOrComputeEx(key, func() ([]byte, bool, error) {
+//
+// Tracing: the request's span tree gains a cache.lookup span labeled with
+// the outcome (hit / shared / miss); only the flight leader additionally
+// opens queue.wait and exec spans — a singleflight follower's trace shows
+// the wait inside its own cache.lookup and carries no engine work, which
+// is exactly what happened. compute receives the exec span to hang repair
+// and engine children from.
+func (s *Server) finishQuery(w http.ResponseWriter, r *http.Request, key string, compute func(sp *trace.Span) ([]byte, bool, error)) (hit, ok bool) {
+	root := trace.FromContext(r.Context())
+	cacheSp := root.StartChild("cache.lookup")
+	body, outcome, err := s.cache.getOrCompute(key, func() ([]byte, bool, error) {
+		qsp := root.StartChild("queue.wait")
 		s.metrics.queueDepth.Inc()
 		queued := time.Now()
 		select {
 		case s.querySem <- struct{}{}:
 			s.metrics.queueDepth.Dec()
 			s.metrics.queueWait.Observe(time.Since(queued).Seconds())
+			qsp.End()
 			s.metrics.poolBusy.Inc()
 			defer func() {
 				s.metrics.poolBusy.Dec()
@@ -650,10 +746,21 @@ func (s *Server) finishQuery(w http.ResponseWriter, r *http.Request, key string,
 			}()
 		case <-r.Context().Done():
 			s.metrics.queueDepth.Dec()
+			qsp.SetError("cancelled while queued")
+			qsp.End()
 			return nil, false, r.Context().Err()
 		}
-		return compute()
+		execSp := root.StartChild("exec")
+		b, cacheable, err := compute(execSp)
+		if err != nil {
+			execSp.SetError(err.Error())
+		}
+		execSp.End()
+		return b, cacheable, err
 	})
+	cacheSp.SetAttr("result", outcome.String())
+	cacheSp.End()
+	hit = outcome != cacheMiss
 	if err != nil {
 		s.replyError(w, err)
 		return false, false
@@ -667,6 +774,39 @@ func (s *Server) finishQuery(w http.ResponseWriter, r *http.Request, key string,
 	w.Write(body)
 	w.Write([]byte("\n"))
 	return hit, true
+}
+
+// graftEnginePhases embeds the simulator's span ledger into the wall-clock
+// trace as children of the engine span: the engine's measured interval is
+// apportioned across the phases by round share (the ledger's clock is
+// rounds, not seconds), so the trace's leaf intervals line up end to end
+// under their parent and the per-phase `rounds` attributes sum exactly to
+// the run's total rounds — the conservation law the span ledger guarantees
+// and the /debug/traces consumers assert.
+func graftEnginePhases(eng *trace.Span, phases []harness.PhaseStat) {
+	if eng == nil || len(phases) == 0 {
+		return
+	}
+	total := harness.PhaseRounds(phases)
+	d := time.Since(eng.StartTime())
+	cursor := eng.StartTime()
+	for _, ph := range phases {
+		var pd time.Duration
+		if total > 0 {
+			pd = time.Duration(int64(d) * ph.Rounds / total)
+		}
+		attrs := []trace.Attr{
+			trace.Int64("rounds", ph.Rounds),
+			trace.Int64("messages", ph.Messages),
+			trace.Int64("awake_rounds", ph.AwakeRounds),
+		}
+		if ph.RoundsByDepth != "" {
+			attrs = append(attrs, trace.String("rounds_by_depth", ph.RoundsByDepth))
+		}
+		eng.Graft("phase:"+ph.Phase, cursor, pd, attrs...)
+		cursor = cursor.Add(pd)
+	}
+	eng.SetAttr("rounds", total)
 }
 
 // --- dynamic-graph endpoints ---

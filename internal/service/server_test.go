@@ -540,7 +540,9 @@ func TestRequestIDEcho(t *testing.T) {
 	req.Header.Set(RequestIDHeader, "bad\nid")
 	w = httptest.NewRecorder()
 	s.Handler().ServeHTTP(w, req)
-	if got := w.Header().Get(RequestIDHeader); got == "bad\nid" || len(got) != 16 {
-		t.Fatalf("junk inbound id not replaced: %q", got)
+	// A minted ID is the request's 32-hex trace ID, so logs, exemplars,
+	// and the flight recorder join on one key.
+	if got := w.Header().Get(RequestIDHeader); got == "bad\nid" || len(got) != 32 {
+		t.Fatalf("junk inbound id not replaced with the trace ID: %q", got)
 	}
 }
